@@ -1,0 +1,114 @@
+// softcell-sim regenerates the paper's large-scale simulations (§6.3,
+// Fig. 7) and the design-choice ablations.
+//
+// Usage:
+//
+//	softcell-sim -sweep clauses            # Fig. 7(a): n = 1000..8000, k=8, m=5
+//	softcell-sim -sweep length             # Fig. 7(b): m = 4..8
+//	softcell-sim -sweep size               # Fig. 7(c): k = 8..20
+//	softcell-sim -sweep ablation           # DESIGN.md §5 ablations
+//	softcell-sim -k 8 -n 1000 -m 5         # one point
+//
+// -scale divides every clause count (e.g. -scale 10 runs a 10x-reduced
+// sweep in minutes; the slopes are the claim, not the intercepts). The
+// paper-exact run is -scale 1 (the default), which needs tens of minutes
+// for the largest points on one core.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/simexp"
+)
+
+func main() {
+	var (
+		sweep = flag.String("sweep", "", "clauses | length | size | ablation (empty: single point)")
+		k     = flag.Int("k", 8, "topology parameter (even)")
+		n     = flag.Int("n", 1000, "service policy clauses")
+		m     = flag.Int("m", 5, "clause length (middleboxes per clause)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		scale = flag.Int("scale", 1, "divide clause counts by this factor")
+		both  = flag.Bool("both-directions", false, "install and count upstream rules too (paper counts downstream)")
+		all   = flag.Bool("count-access", false, "include software access switches in the summary")
+
+		stride     = flag.Int("stride", 1, "install paths for the first 1/stride of stations at large k (size sweep)")
+		strideFrom = flag.Int("stride-from", 14, "apply -stride from this k upward (size sweep)")
+	)
+	flag.Parse()
+
+	tab := metrics.NewTable("point", "base stations", "paths", "max rules", "median", "mean", "tags", "seconds")
+	report := func(label string, r simexp.Result) {
+		tab.AddRow(label, r.BaseStations, r.PathsInstalled, r.Max, r.Median, r.Mean,
+			r.TagsAllocated, r.Elapsed.Seconds())
+	}
+	opt := simexp.SweepOptions{Seed: *seed, Scale: *scale}
+
+	var err error
+	switch *sweep {
+	case "":
+		st := 1
+		if *stride > 1 && *k >= *strideFrom {
+			st = *stride
+		}
+		var r simexp.Result
+		r, err = simexp.Run(simexp.Params{K: *k, N: *n / maxInt(*scale, 1), M: *m, Seed: *seed,
+			StationStride: st, BothDirections: *both, CountAccessSwitches: *all})
+		if err == nil {
+			label := fmt.Sprintf("k=%d n=%d m=%d", *k, r.Params.N, *m)
+			if st > 1 {
+				label += fmt.Sprintf(" stride=%d", st)
+			}
+			report(label, r)
+		}
+	case "clauses":
+		fmt.Println("Fig. 7(a): switch table size vs number of service policy clauses (k=8, m=5)")
+		err = simexp.Fig7a(opt, func(r simexp.Result) {
+			report(fmt.Sprintf("n=%d", r.Params.N**scale), r)
+		})
+	case "length":
+		fmt.Println("Fig. 7(b): switch table size vs service policy clause length (k=8, n=1000)")
+		err = simexp.Fig7b(opt, func(r simexp.Result) {
+			report(fmt.Sprintf("m=%d", r.Params.M), r)
+		})
+	case "size":
+		fmt.Println("Fig. 7(c): switch table size vs network size (n=1000, m=5)")
+		if *stride > 1 {
+			opt.StrideAt = map[int]int{}
+			for _, kk := range simexp.Fig7cPoints {
+				if kk >= *strideFrom {
+					opt.StrideAt[kk] = *stride
+				}
+			}
+		}
+		err = simexp.Fig7c(opt, func(r simexp.Result) {
+			label := fmt.Sprintf("k=%d (%d BS)", r.Params.K, r.BaseStations)
+			if r.Params.StationStride > 1 {
+				label += fmt.Sprintf(" stride=%d", r.Params.StationStride)
+			}
+			report(label, r)
+		})
+	case "ablation":
+		fmt.Printf("DESIGN.md ablations at k=%d n=%d m=%d\n", *k, *n/maxInt(*scale, 1), *m)
+		err = simexp.Ablations(simexp.Params{K: *k, N: *n / maxInt(*scale, 1), M: *m, Seed: *seed},
+			func(r simexp.AblationResult) { report(r.Name, r.Result) })
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Print(tab)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

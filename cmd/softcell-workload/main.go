@@ -1,0 +1,73 @@
+// softcell-workload regenerates §6.1 / Fig. 6: the LTE control-plane
+// workload characteristics, from the synthetic generator that substitutes
+// for the paper's proprietary 1 TB trace (see DESIGN.md).
+//
+// Usage:
+//
+//	softcell-workload                  # full day, 1500 stations (paper scale)
+//	softcell-workload -seconds 7200    # two-hour window
+//	softcell-workload -cdf arrivals    # also dump a plottable CDF series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		stations = flag.Int("stations", 1500, "base stations (paper: ~1500)")
+		seconds  = flag.Int("seconds", 86400, "simulated seconds (default: one day)")
+		seed     = flag.Int64("seed", 42, "random seed")
+		cdf      = flag.String("cdf", "", "dump a CDF series: arrivals | handoffs | active | bearers")
+		points   = flag.Int("points", 40, "points per dumped CDF")
+	)
+	flag.Parse()
+
+	fmt.Printf("simulating %d stations for %d seconds (seed %d)...\n", *stations, *seconds, *seed)
+	res := workload.Generate(workload.Params{Stations: *stations, Seconds: *seconds, Seed: *seed})
+	tg := workload.Targets()
+
+	tab := metrics.NewTable("figure", "quantity", "median", "p99", "p99.999", "paper p99.999")
+	tab.AddRow("6(a)", "UE arrivals/s (network)",
+		res.ArrivalsPerSec.Quantile(0.5), res.ArrivalsPerSec.Quantile(0.99),
+		res.ArrivalsPerSec.Quantile(0.99999), tg.ArrivalsP99999)
+	tab.AddRow("6(a)", "handoffs/s (network)",
+		res.HandoffsPerSec.Quantile(0.5), res.HandoffsPerSec.Quantile(0.99),
+		res.HandoffsPerSec.Quantile(0.99999), tg.HandoffsP99999)
+	tab.AddRow("6(b)", "active UEs per station",
+		res.ActiveUEsPerBS.Quantile(0.5), res.ActiveUEsPerBS.Quantile(0.99),
+		res.ActiveUEsPerBS.Quantile(0.99999), tg.ActiveP99999)
+	tab.AddRow("6(c)", "bearer arrivals/s per station",
+		res.BearersPerBSSec.Quantile(0.5), res.BearersPerBSSec.Quantile(0.99),
+		res.BearersPerBSSec.Quantile(0.99999), tg.BearersP99999)
+	fmt.Print(tab)
+	fmt.Printf("\ntotals: %d arrivals, %d handoffs, %d bearers; peak station population %d\n",
+		res.TotalArrivals, res.TotalHandoffs, res.TotalBearers, res.PeakActive)
+
+	if *cdf == "" {
+		return
+	}
+	var c *metrics.CDF
+	switch *cdf {
+	case "arrivals":
+		c = &res.ArrivalsPerSec
+	case "handoffs":
+		c = &res.HandoffsPerSec
+	case "active":
+		c = &res.ActiveUEsPerBS
+	case "bearers":
+		c = &res.BearersPerBSSec
+	default:
+		fmt.Fprintf(os.Stderr, "unknown cdf %q\n", *cdf)
+		os.Exit(2)
+	}
+	fmt.Printf("\nCDF of %s (x, P[X<=x]):\n", *cdf)
+	for _, pt := range c.Points(*points) {
+		fmt.Printf("%.2f\t%.5f\n", pt.X, pt.Y)
+	}
+}

@@ -1,0 +1,103 @@
+// softcelld runs a SoftCell controller serving the binary control channel
+// over TCP, with the full data plane assembled in-process. It demonstrates
+// the deployable control plane: external agents (or the bundled emulation)
+// connect, attach subscribers and request policy paths over the wire.
+//
+// Usage:
+//
+//	softcelld -listen 127.0.0.1:9444                # serve and wait
+//	softcelld -emulate-agents 8 -ues 200            # plus an emulated RAN
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	softcell "repro"
+	"repro/internal/ctrlproto"
+	"repro/internal/packet"
+	"repro/internal/policy"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:9444", "control channel listen address")
+		k       = flag.Int("k", 4, "generated topology parameter")
+		emulate = flag.Int("emulate-agents", 0, "spawn this many wire-connected emulated agents")
+		ues     = flag.Int("ues", 100, "emulated subscribers to attach (with -emulate-agents)")
+	)
+	flag.Parse()
+
+	g, err := softcell.GenerateTopology(*k, 10, 3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw, err := softcell.New(softcell.Options{
+		Topology: g.Topology,
+		Gateway:  g.GatewayID,
+		Policy:   policy.ExampleCarrierPolicy(),
+		Replicas: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := ctrlproto.NewServer(nw.Ctrl)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("softcelld: %d base stations, %d switches, %d middlebox instances",
+		len(g.Stations), len(g.Nodes), len(g.MBoxes))
+	log.Printf("softcelld: control channel on %s", ln.Addr())
+	go func() {
+		if err := srv.Serve(ln); err != nil {
+			log.Printf("serve: %v", err)
+		}
+	}()
+
+	if *emulate > 0 {
+		for a := 0; a < *emulate; a++ {
+			bs := packet.BSID(a % len(g.Stations))
+			cl, err := ctrlproto.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := cl.Hello(bs); err != nil {
+				log.Fatal(err)
+			}
+			ag := nw.Agents[bs]
+			cl.Reporter = ag.LocationReport
+			defer cl.Close()
+		}
+		log.Printf("softcelld: %d emulated agents connected", *emulate)
+		for i := 0; i < *ues; i++ {
+			imsi := fmt.Sprintf("emu-%d", i)
+			if err := nw.Ctrl.RegisterSubscriber(imsi, policy.Attributes{Provider: "A"}); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := nw.Attach(imsi, packet.BSID(i%len(g.Stations))); err != nil {
+				log.Fatal(err)
+			}
+		}
+		log.Printf("softcelld: %d subscribers attached", *ues)
+		// Warm one policy path per emulated station to show the data plane.
+		web, _ := nw.Ctrl.Policy.Match(policy.Attributes{Provider: "A"}, policy.AppWeb)
+		for a := 0; a < *emulate; a++ {
+			if _, err := nw.Ctrl.RequestPath(packet.BSID(a%len(g.Stations)), web); err != nil {
+				log.Fatal(err)
+			}
+		}
+		st := nw.Ctrl.Installer.Stats()
+		log.Printf("softcelld: %d policy paths, %d rules, %d tags installed",
+			st.Paths, st.Rules, st.TagsAllocated)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Println("softcelld: shutting down")
+}

@@ -1,0 +1,48 @@
+package softcell_test
+
+import (
+	"fmt"
+	"log"
+
+	softcell "repro"
+	"repro/internal/packet"
+	"repro/internal/policy"
+)
+
+// Example runs the quickstart flow end to end: attach a subscriber, send a
+// packet to the Internet through the policy's middlebox chain, and deliver
+// the reply back to the device's permanent address.
+func Example() {
+	net, err := softcell.Example()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := net.Ctrl.RegisterSubscriber("alice", policy.Attributes{Provider: "A"}); err != nil {
+		log.Fatal(err)
+	}
+	ue, err := net.Attach("alice", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := &softcell.Packet{
+		Src: ue.PermIP, Dst: packet.AddrFrom4(93, 184, 216, 34),
+		SrcPort: 44123, DstPort: 443, Proto: packet.ProtoTCP, TTL: 64,
+	}
+	res, err := net.SendUpstream(0, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("upstream:", res.Disposition)
+	reply := &softcell.Packet{
+		Src: p.Dst, Dst: p.Src, SrcPort: p.DstPort, DstPort: p.SrcPort,
+		Proto: packet.ProtoTCP, TTL: 64,
+	}
+	dres, err := net.SendDownstream(reply)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("downstream:", dres.Disposition, "to", reply.Dst == ue.PermIP)
+	// Output:
+	// upstream: exited
+	// downstream: delivered to true
+}

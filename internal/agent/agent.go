@@ -1,0 +1,477 @@
+// Package agent implements SoftCell's local control agent (§4.2): the
+// software controller co-located with each base station's access switch. It
+// caches per-UE packet classifiers at the behest of the central controller,
+// installs microflow rules for new flows, and only contacts the controller
+// when a flow needs a policy path that does not exist yet — the hierarchy
+// that keeps tens of thousands of flow arrivals per second off the central
+// controller.
+package agent
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/switchsim"
+)
+
+// ControllerClient is the slice of the central controller an agent needs.
+// core.Controller implements it in-process; internal/ctrlproto implements it
+// over the wire.
+type ControllerClient interface {
+	RequestPath(bs packet.BSID, clause int) (packet.Tag, error)
+}
+
+// LocResolver is the optional capability mobile-to-mobile traffic needs:
+// translating a destination UE's permanent address to its current LocIP.
+// Controllers that implement it enable §7's direct M2M paths; otherwise the
+// agent denies carrier-internal destinations.
+type LocResolver interface {
+	ResolveLocIP(perm packet.Addr) (packet.Addr, error)
+}
+
+// flowState records one active upstream microflow for a UE.
+type flowState struct {
+	orig      packet.FlowKey // as sent by the UE (permanent IP)
+	rewritten packet.FlowKey // as it travels the core (LocIP + tag port)
+}
+
+// ueState is the agent's cached state for one attached UE. Per §5.2 it is
+// read-mostly: only the central controller changes classifiers.
+type ueState struct {
+	ue          core.UE
+	classifiers map[policy.AppType]core.Classifier
+	flows       map[packet.FlowKey]flowState // keyed by orig
+	nextEph     uint16
+}
+
+// Stats count the agent's control-plane activity; Table 2's benchmark reads
+// them.
+type Stats struct {
+	PacketIns  uint64 // table-miss packets handled
+	CacheHits  uint64 // flows admitted without contacting the controller
+	CacheMiss  uint64 // flows that required a controller round trip
+	Denied     uint64
+	Microflows uint64
+}
+
+// Agent is one base station's local controller.
+type Agent struct {
+	BS     packet.BSID
+	Access *switchsim.Switch
+
+	// PermPool, when set, marks the block of permanent UE addresses: flows
+	// addressed inside it are mobile-to-mobile candidates the agent
+	// resolves through the controller (§7). Zero disables M2M-by-permanent
+	// address (LocIP-addressed M2M still works).
+	PermPool packet.Prefix
+
+	plan packet.Plan
+	ctrl ControllerClient
+
+	mu      sync.Mutex
+	ues     map[packet.Addr]*ueState // keyed by permanent IP
+	byLoc   map[packet.Addr]*ueState // keyed by LocIP (incl. reserved old ones)
+	inbound map[inboundKey]struct{}  // §7 public-IP bindings this station accepts
+	stats   Stats
+}
+
+// inboundKey identifies an accepted Internet-initiated service binding.
+type inboundKey struct {
+	loc packet.Addr
+	tag packet.Tag
+}
+
+// New builds an agent controlling the given access switch.
+func New(bs packet.BSID, access *switchsim.Switch, plan packet.Plan, ctrl ControllerClient) *Agent {
+	access.TableMiss = switchsim.Punt() // misses go to this agent
+	return &Agent{
+		BS:      bs,
+		Access:  access,
+		plan:    plan,
+		ctrl:    ctrl,
+		ues:     make(map[packet.Addr]*ueState),
+		byLoc:   make(map[packet.Addr]*ueState),
+		inbound: make(map[inboundKey]struct{}),
+	}
+}
+
+// AllowInbound registers a §7 public-IP binding: Internet-initiated flows
+// arriving tagged for (loc, tag) may be delivered. Without a registration,
+// externally sourced packets that reach the access switch untagged or with
+// an unknown tag are dropped — spoofed-tag probes included (§4.1).
+func (a *Agent) AllowInbound(loc packet.Addr, tag packet.Tag) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inbound[inboundKey{loc, tag}] = struct{}{}
+}
+
+// Stats returns a snapshot of the agent counters.
+func (a *Agent) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// AdmitUE caches a UE's state and classifiers (the controller pushes these
+// on attach and handoff).
+func (a *Agent) AdmitUE(ue core.UE, classifiers []core.Classifier) error {
+	if ue.BS != a.BS {
+		return fmt.Errorf("agent: UE %s is attached to bs%d, not bs%d", ue.IMSI, ue.BS, a.BS)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := &ueState{
+		ue:          ue,
+		classifiers: make(map[policy.AppType]core.Classifier, len(classifiers)),
+		flows:       make(map[packet.FlowKey]flowState),
+	}
+	for _, c := range classifiers {
+		st.classifiers[c.App] = c
+	}
+	a.ues[ue.PermIP] = st
+	a.byLoc[ue.LocIP] = st
+	return nil
+}
+
+// UpdateClassifiers refreshes a UE's classifier cache (read-only to the
+// agent otherwise, §5.2).
+func (a *Agent) UpdateClassifiers(permIP packet.Addr, classifiers []core.Classifier) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.ues[permIP]
+	if !ok {
+		return fmt.Errorf("agent: no UE with permanent IP %s", permIP)
+	}
+	for _, c := range classifiers {
+		st.classifiers[c.App] = c
+	}
+	return nil
+}
+
+// classifyApp labels a flow, preferring the packet's explicit label.
+func classifyApp(p *packet.Packet) policy.AppType {
+	if p.App != 0 {
+		return policy.AppType(p.App)
+	}
+	return policy.AppFromPort(p.DstPort)
+}
+
+// HandlePacketIn processes one table-miss packet from the access switch —
+// the first packet of a new upstream flow. It classifies the flow, obtains
+// the policy tag (from the classifier cache, or from the controller when no
+// policy path exists yet), installs the two microflow rules (upstream
+// rewrite+resubmit, downstream restore+deliver), and returns the verdict
+// for this first packet.
+func (a *Agent) HandlePacketIn(p *packet.Packet) (allowed bool, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats.PacketIns++
+	st, ok := a.ues[p.Src]
+	if !ok {
+		return false, fmt.Errorf("agent: packet from unknown UE %s", p.Src)
+	}
+	app := classifyApp(p)
+	cl, ok := st.classifiers[app]
+	if !ok || !cl.Allow {
+		a.stats.Denied++
+		a.Access.InstallMicroflow(p.Flow(), switchsim.DropAction())
+		return false, nil
+	}
+	if a.plan.Carrier.Contains(p.Dst) || a.isLocalPerm(p.Dst) {
+		// Mobile-to-mobile (§7): translate the peer's permanent address to
+		// its LocIP and route directly by location — no tag, no gateway
+		// detour. The reply direction is set up by the peer's agent when
+		// the packet arrives there.
+		return a.handleM2M(st, p)
+	}
+	if cl.Tag == 0 {
+		// "send to controller": the policy path does not exist yet (§4.2).
+		a.stats.CacheMiss++
+		tag, err := a.ctrl.RequestPath(a.BS, cl.Clause)
+		if err != nil {
+			return false, fmt.Errorf("agent: controller refused path for clause %d: %w", cl.Clause, err)
+		}
+		cl.Tag = tag
+		st.classifiers[app] = cl
+	} else {
+		a.stats.CacheHits++
+	}
+	if err := a.installMicroflows(st, p.Flow(), cl.Tag, cl.QoS); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// isLocalPerm reports whether the destination sits in the deployment's
+// permanent-address pool — a mobile-to-mobile candidate. The check is a
+// prefix test, so ordinary Internet-bound flows never pay a controller
+// round trip here.
+func (a *Agent) isLocalPerm(dst packet.Addr) bool {
+	return a.PermPool.Len > 0 && a.PermPool.Contains(dst)
+}
+
+// handleM2M installs the microflows for a carrier-internal destination.
+func (a *Agent) handleM2M(st *ueState, p *packet.Packet) (bool, error) {
+	r, ok := a.ctrl.(LocResolver)
+	if !ok {
+		a.stats.Denied++
+		a.Access.InstallMicroflow(p.Flow(), switchsim.DropAction())
+		return false, nil
+	}
+	dstLoc := p.Dst
+	if !a.plan.Carrier.Contains(dstLoc) {
+		loc, err := r.ResolveLocIP(p.Dst)
+		if err != nil {
+			a.stats.Denied++
+			a.Access.InstallMicroflow(p.Flow(), switchsim.DropAction())
+			return false, nil
+		}
+		dstLoc = loc
+	}
+	a.stats.CacheMiss++ // the resolution is a controller round trip
+	orig := p.Flow()
+	srcLoc := st.ue.LocIP
+	// Tag 0: pure location routing (Type 3 rules) carries the flow to the
+	// peer's station directly.
+	up := switchsim.Action{Resubmit: true, Output: -1, SetSrc: &srcLoc, SetDst: &dstLoc}
+	a.Access.InstallMicroflow(orig, up)
+	rewritten := packet.FlowKey{Src: srcLoc, Dst: dstLoc, SrcPort: orig.SrcPort,
+		DstPort: orig.DstPort, Proto: orig.Proto}
+	perm := st.ue.PermIP
+	down := switchsim.Action{Output: switchsim.PortUE, SetDst: &perm}
+	a.Access.InstallMicroflow(rewritten.Reverse(), down)
+	st.flows[orig] = flowState{orig: orig, rewritten: rewritten}
+	a.stats.Microflows += 2
+	return true, nil
+}
+
+// HandleArrival handles a punted packet ADDRESSED TO this station: a
+// mobile-to-mobile or Internet-initiated (public IP, §7) flow reaching its
+// destination access switch with no microflow yet. Internal sources
+// (carrier or permanent-pool addresses) are mobile-to-mobile and always
+// deliverable; external sources must match a registered inbound binding —
+// anything else (including spoofed-tag probes, §4.1) is refused. On
+// success it installs the delivery microflow and the reverse rule so
+// replies retrace the same header transformation.
+func (a *Agent) HandleArrival(p *packet.Packet) (delivered bool, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.byLoc[p.Dst]
+	if !ok {
+		return false, fmt.Errorf("agent: no UE with LocIP %s at bs%d", p.Dst, a.BS)
+	}
+	internal := a.plan.Carrier.Contains(p.Src) ||
+		(a.PermPool.Len > 0 && a.PermPool.Contains(p.Src))
+	if !internal {
+		tag, _ := a.plan.SplitPort(p.DstPort)
+		if _, allowed := a.inbound[inboundKey{p.Dst, tag}]; !allowed {
+			a.stats.Denied++
+			return false, nil
+		}
+	}
+	a.stats.PacketIns++
+	key := p.Flow()
+	perm := st.ue.PermIP
+	tag, svc := a.plan.SplitPort(p.DstPort)
+	deliver := switchsim.Action{Output: switchsim.PortUE, SetDst: &perm}
+	if tag != 0 {
+		// Inbound-tagged flows (public IP bindings) carry the service port
+		// in the ephemeral bits; restore it for the UE.
+		svcPort := svc
+		deliver.SetDstPort = &svcPort
+	}
+	a.Access.InstallMicroflow(key, deliver)
+	// Replies from the UE: restore the wire form so they retrace the same
+	// (tagged) path back out.
+	locIP := p.Dst
+	tagged := p.DstPort
+	replyKey := packet.FlowKey{Src: perm, Dst: p.Src, SrcPort: svc, DstPort: p.SrcPort, Proto: p.Proto}
+	if tag == 0 {
+		replyKey.SrcPort = p.DstPort
+	}
+	reply := switchsim.Action{Resubmit: true, Output: -1, SetSrc: &locIP, SetSrcPort: &tagged}
+	a.Access.InstallMicroflow(replyKey, reply)
+	a.stats.Microflows += 2
+	return true, nil
+}
+
+// dscpFor maps a clause's QoS class to the DSCP marking the access edge
+// applies (§2.2: actions carry "quality-of-service (QoS) ... specifications").
+func dscpFor(q policy.QoS) uint8 {
+	switch q {
+	case policy.QoSVideo:
+		return 10 // AF11-ish
+	case policy.QoSVoice:
+		return 46 // EF
+	case policy.QoSLowLatency:
+		return 48 // CS6: Table 1's M2M fleet tracking rides the top class
+	default:
+		return 0
+	}
+}
+
+// installMicroflows writes the pair of exact-match rules for one flow.
+func (a *Agent) installMicroflows(st *ueState, orig packet.FlowKey, tag packet.Tag, qos policy.QoS) error {
+	if tag > a.plan.MaxTag() {
+		return fmt.Errorf("agent: tag %d does not fit the %d-bit tag field", tag, a.plan.TagBits)
+	}
+	st.nextEph++
+	if int(st.nextEph) >= 1<<a.plan.EphemeralBits() {
+		st.nextEph = 1 // wrap: ephemeral reuse, like real port allocation
+	}
+	sport, err := a.plan.EmbedPort(tag, st.nextEph)
+	if err != nil {
+		return err
+	}
+	loc := st.ue.LocIP
+
+	// Upstream: rewrite source to (LocIP, tag|eph), mark the QoS class, and
+	// resubmit so the controller-installed rules forward it (§4.1, Fig. 4).
+	up := switchsim.Action{Resubmit: true, Output: -1, SetSrc: &loc, SetSrcPort: &sport}
+	if d := dscpFor(qos); d != 0 {
+		dscp := d
+		up.SetDSCP = &dscp
+	}
+	a.Access.InstallMicroflow(orig, up)
+
+	// Downstream: the reverse of the rewritten flow; restore the permanent
+	// address and deliver to the UE.
+	rewritten := packet.FlowKey{Src: loc, Dst: orig.Dst, SrcPort: sport, DstPort: orig.DstPort, Proto: orig.Proto}
+	perm := st.ue.PermIP
+	origPort := orig.SrcPort
+	down := switchsim.Action{Output: switchsim.PortUE, SetDst: &perm, SetDstPort: &origPort}
+	a.Access.InstallMicroflow(rewritten.Reverse(), down)
+
+	st.flows[orig] = flowState{orig: orig, rewritten: rewritten}
+	a.stats.Microflows += 2
+	return nil
+}
+
+// ActiveFlows lists a UE's live upstream flow keys (original form).
+func (a *Agent) ActiveFlows(permIP packet.Addr) []packet.FlowKey {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.ues[permIP]
+	if !ok {
+		return nil
+	}
+	out := make([]packet.FlowKey, 0, len(st.flows))
+	for k := range st.flows {
+		out = append(out, k)
+	}
+	return out
+}
+
+// MigrateFlows implements the access side of a handoff (§5.1): the old
+// agent copies the moving UE's microflow rules to the new agent's switch
+// (old flows keep the old LocIP and tags), retargets its own downstream
+// microflows into the inter-station tunnel toward the new station, and
+// hands over the UE state. newUE is the controller's post-handoff record.
+func (a *Agent) MigrateFlows(newAgent *Agent, newUE core.UE, oldLocIP packet.Addr) error {
+	a.mu.Lock()
+	st, ok := a.ues[newUE.PermIP]
+	if !ok {
+		a.mu.Unlock()
+		return fmt.Errorf("agent: no state for UE %s", newUE.IMSI)
+	}
+	delete(a.ues, newUE.PermIP)
+	delete(a.byLoc, oldLocIP)
+	flows := make([]flowState, 0, len(st.flows))
+	for _, f := range st.flows {
+		flows = append(flows, f)
+	}
+	tunnel := switchsim.PortTunnelBase + int(newUE.BS)
+	for _, f := range flows {
+		// Downstream packets for the old flow now tunnel to the new station
+		// unmodified: the copied microflow there restores the permanent
+		// address on delivery.
+		down := f.rewritten.Reverse()
+		if _, ok := a.Access.Microflow(down); ok {
+			a.Access.InstallMicroflow(down, switchsim.Action{Output: tunnel})
+		}
+		// The upstream rule at the old switch is obsolete (the UE is gone).
+		a.Access.RemoveMicroflow(f.orig)
+	}
+	a.mu.Unlock()
+
+	// The new agent inherits the UE (with its new LocIP for new flows) and
+	// re-installs the old flows' microflows: upstream packets keep the old
+	// LocIP and tag and triangle-route through the tunnel to the flow's
+	// ORIGIN station (decoded from the old LocIP), where the old policy
+	// path's upstream rules take over — so they traverse the old middlebox
+	// sequence (§5.1).
+	newAgent.mu.Lock()
+	defer newAgent.mu.Unlock()
+	nst, ok := newAgent.ues[newUE.PermIP]
+	if !ok {
+		return fmt.Errorf("agent: new agent has not admitted UE %s", newUE.IMSI)
+	}
+	newAgent.byLoc[oldLocIP] = nst // reserved old address still maps here
+	for _, f := range flows {
+		loc := f.rewritten.Src
+		sport := f.rewritten.SrcPort
+		originBS, _, ok := newAgent.plan.Split(loc)
+		if !ok {
+			return fmt.Errorf("agent: flow source %s outside the carrier block", loc)
+		}
+		up := switchsim.Action{
+			Output:     switchsim.PortTunnelBase + int(originBS),
+			SetSrc:     &loc,
+			SetSrcPort: &sport,
+		}
+		newAgent.Access.InstallMicroflow(f.orig, up)
+		perm := newUE.PermIP
+		origPort := f.orig.SrcPort
+		down := switchsim.Action{Output: switchsim.PortUE, SetDst: &perm, SetDstPort: &origPort}
+		newAgent.Access.InstallMicroflow(f.rewritten.Reverse(), down)
+		nst.flows[f.orig] = f
+		newAgent.stats.Microflows += 2
+	}
+	return nil
+}
+
+// LocationReport answers a recovering controller's location query (§5.2).
+func (a *Agent) LocationReport() core.AgentLocationReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rep := core.AgentLocationReport{BS: a.BS}
+	for _, st := range a.ues {
+		rep.UEs = append(rep.UEs, st.ue)
+	}
+	return rep
+}
+
+// Restart simulates a local-agent failure (§5.2): all cached state is
+// dropped; the controller re-pushes it via AdmitUE. Microflows in the
+// switch survive (the switch did not fail), so established flows keep
+// forwarding while the agent recovers.
+func (a *Agent) Restart() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ues = make(map[packet.Addr]*ueState)
+	a.byLoc = make(map[packet.Addr]*ueState)
+	a.stats = Stats{}
+}
+
+// NumUEs reports the attached-UE count (Fig. 6(b)'s per-station quantity).
+func (a *Agent) NumUEs() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.ues)
+}
+
+// FlowWireForm reports the tracked rewritten (wire) key for a UE's original
+// flow key — diagnostics for migration tests.
+func (a *Agent) FlowWireForm(permIP packet.Addr, orig packet.FlowKey) (packet.FlowKey, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.ues[permIP]
+	if !ok {
+		return packet.FlowKey{}, false
+	}
+	f, ok := st.flows[orig]
+	return f.rewritten, ok
+}

@@ -1,0 +1,281 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/switchsim"
+)
+
+// fakeController counts path requests and can inject failures.
+type fakeController struct {
+	nextTag  packet.Tag
+	requests int
+	fail     bool
+	tags     map[int]packet.Tag
+}
+
+func newFakeController() *fakeController {
+	return &fakeController{tags: make(map[int]packet.Tag)}
+}
+
+func (f *fakeController) RequestPath(bs packet.BSID, clause int) (packet.Tag, error) {
+	f.requests++
+	if f.fail {
+		return 0, errors.New("controller unavailable")
+	}
+	if t, ok := f.tags[clause]; ok {
+		return t, nil
+	}
+	f.nextTag++
+	f.tags[clause] = f.nextTag
+	return f.nextTag, nil
+}
+
+var plan = packet.DefaultPlan
+
+func testUE(t *testing.T, bs packet.BSID, id packet.UEID) core.UE {
+	t.Helper()
+	loc, err := plan.LocIP(bs, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.UE{
+		IMSI:   fmt.Sprintf("imsi-%d-%d", bs, id),
+		PermIP: packet.AddrFrom4(100, 64, 0, byte(id)),
+		BS:     bs, UEID: id, LocIP: loc,
+	}
+}
+
+func newAgent(t *testing.T, ctrl ControllerClient) *Agent {
+	t.Helper()
+	sw := switchsim.NewSwitch("as-test")
+	return New(1, sw, plan, ctrl)
+}
+
+func webClassifiers(tag packet.Tag) []core.Classifier {
+	return []core.Classifier{
+		{App: policy.AppWeb, Clause: 5, Tag: tag, Allow: true},
+		{App: policy.AppSSH, Clause: 1, Allow: false},
+	}
+}
+
+func upPkt(ue core.UE, sport uint16) *packet.Packet {
+	return &packet.Packet{Src: ue.PermIP, Dst: packet.AddrFrom4(1, 1, 1, 1),
+		SrcPort: sport, DstPort: 80, Proto: packet.ProtoTCP}
+}
+
+func TestPacketInInstallsMicroflows(t *testing.T) {
+	ctrl := newFakeController()
+	ag := newAgent(t, ctrl)
+	ue := testUE(t, 1, 3)
+	if err := ag.AdmitUE(ue, webClassifiers(7)); err != nil {
+		t.Fatal(err)
+	}
+	p := upPkt(ue, 40000)
+	allowed, err := ag.HandlePacketIn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !allowed {
+		t.Fatal("web flow should be allowed")
+	}
+	if ctrl.requests != 0 {
+		t.Fatalf("cache hit should not contact the controller (%d requests)", ctrl.requests)
+	}
+	if ag.Access.NumMicroflows() != 2 {
+		t.Fatalf("microflows = %d, want 2", ag.Access.NumMicroflows())
+	}
+	// Replay the packet through the switch: rewritten and resubmitted.
+	q := upPkt(ue, 40000)
+	v := ag.Access.Process(q, switchsim.PortUE)
+	if q.Src != ue.LocIP {
+		t.Fatalf("src = %s, want LocIP", q.Src)
+	}
+	tag, _ := plan.SplitPort(q.SrcPort)
+	if tag != 7 {
+		t.Fatalf("embedded tag = %d, want 7", tag)
+	}
+	_ = v
+	st := ag.Stats()
+	if st.PacketIns != 1 || st.CacheHits != 1 || st.Microflows != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPacketInAsksControllerOnce(t *testing.T) {
+	ctrl := newFakeController()
+	ag := newAgent(t, ctrl)
+	ue := testUE(t, 1, 3)
+	_ = ag.AdmitUE(ue, webClassifiers(0)) // no tag: path missing
+	if _, err := ag.HandlePacketIn(upPkt(ue, 40000)); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.requests != 1 {
+		t.Fatalf("requests = %d, want 1", ctrl.requests)
+	}
+	// Second flow of the same app: the agent cached the tag.
+	if _, err := ag.HandlePacketIn(upPkt(ue, 40001)); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.requests != 1 {
+		t.Fatalf("requests = %d after second flow, want 1", ctrl.requests)
+	}
+	st := ag.Stats()
+	if st.CacheMiss != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPacketInDenies(t *testing.T) {
+	ctrl := newFakeController()
+	ag := newAgent(t, ctrl)
+	ue := testUE(t, 1, 3)
+	_ = ag.AdmitUE(ue, webClassifiers(7))
+	ssh := &packet.Packet{Src: ue.PermIP, Dst: packet.AddrFrom4(1, 1, 1, 1),
+		SrcPort: 40000, DstPort: 22, Proto: packet.ProtoTCP}
+	allowed, err := ag.HandlePacketIn(ssh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allowed {
+		t.Fatal("ssh should be denied")
+	}
+	// The drop is installed as a microflow so later packets never punt.
+	v := ag.Access.Process(ssh, switchsim.PortUE)
+	if !v.Drop {
+		t.Fatal("drop microflow missing")
+	}
+	if ag.Stats().Denied != 1 {
+		t.Fatal("denial not counted")
+	}
+}
+
+func TestPacketInUnknownUE(t *testing.T) {
+	ag := newAgent(t, newFakeController())
+	p := &packet.Packet{Src: packet.AddrFrom4(9, 9, 9, 9), DstPort: 80, Proto: packet.ProtoTCP}
+	if _, err := ag.HandlePacketIn(p); err == nil {
+		t.Fatal("unknown UE should error")
+	}
+}
+
+func TestControllerFailurePropagates(t *testing.T) {
+	ctrl := newFakeController()
+	ctrl.fail = true
+	ag := newAgent(t, ctrl)
+	ue := testUE(t, 1, 3)
+	_ = ag.AdmitUE(ue, webClassifiers(0))
+	if _, err := ag.HandlePacketIn(upPkt(ue, 40000)); err == nil {
+		t.Fatal("controller failure should propagate")
+	}
+}
+
+func TestAdmitWrongStation(t *testing.T) {
+	ag := newAgent(t, newFakeController())
+	ue := testUE(t, 2, 3) // attached to bs2, agent serves bs1
+	if err := ag.AdmitUE(ue, nil); err == nil {
+		t.Fatal("wrong station should be rejected")
+	}
+}
+
+func TestUpdateClassifiers(t *testing.T) {
+	ag := newAgent(t, newFakeController())
+	ue := testUE(t, 1, 3)
+	_ = ag.AdmitUE(ue, webClassifiers(0))
+	if err := ag.UpdateClassifiers(ue.PermIP, webClassifiers(9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ag.HandlePacketIn(upPkt(ue, 40000)); err != nil {
+		t.Fatal(err)
+	}
+	if ag.Stats().CacheMiss != 0 {
+		t.Fatal("updated classifier should hit")
+	}
+	if err := ag.UpdateClassifiers(packet.AddrFrom4(9, 9, 9, 9), nil); err == nil {
+		t.Fatal("unknown permanent IP should fail")
+	}
+}
+
+func TestLocationReport(t *testing.T) {
+	ag := newAgent(t, newFakeController())
+	for i := packet.UEID(1); i <= 3; i++ {
+		if err := ag.AdmitUE(testUE(t, 1, i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := ag.LocationReport()
+	if rep.BS != 1 || len(rep.UEs) != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if ag.NumUEs() != 3 {
+		t.Fatalf("NumUEs = %d", ag.NumUEs())
+	}
+}
+
+func TestRestartClearsState(t *testing.T) {
+	ag := newAgent(t, newFakeController())
+	ue := testUE(t, 1, 1)
+	_ = ag.AdmitUE(ue, webClassifiers(7))
+	if _, err := ag.HandlePacketIn(upPkt(ue, 40000)); err != nil {
+		t.Fatal(err)
+	}
+	ag.Restart()
+	if ag.NumUEs() != 0 || ag.Stats().PacketIns != 0 {
+		t.Fatal("restart should clear agent state")
+	}
+	// Microflows survive in the switch (it did not fail).
+	if ag.Access.NumMicroflows() == 0 {
+		t.Fatal("switch state should survive an agent restart")
+	}
+}
+
+func TestActiveFlows(t *testing.T) {
+	ag := newAgent(t, newFakeController())
+	ue := testUE(t, 1, 1)
+	_ = ag.AdmitUE(ue, webClassifiers(7))
+	for i := uint16(0); i < 4; i++ {
+		if _, err := ag.HandlePacketIn(upPkt(ue, 41000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(ag.ActiveFlows(ue.PermIP)); got != 4 {
+		t.Fatalf("active flows = %d", got)
+	}
+	if ag.ActiveFlows(packet.AddrFrom4(9, 9, 9, 9)) != nil {
+		t.Fatal("unknown UE should report no flows")
+	}
+}
+
+func TestEphemeralPortsDistinctPerFlow(t *testing.T) {
+	ag := newAgent(t, newFakeController())
+	ue := testUE(t, 1, 1)
+	_ = ag.AdmitUE(ue, webClassifiers(7))
+	seen := map[uint16]bool{}
+	for i := uint16(0); i < 16; i++ {
+		p := upPkt(ue, 42000+i)
+		if _, err := ag.HandlePacketIn(p); err != nil {
+			t.Fatal(err)
+		}
+		q := upPkt(ue, 42000+i)
+		ag.Access.Process(q, switchsim.PortUE)
+		_, eph := plan.SplitPort(q.SrcPort)
+		if seen[eph] {
+			t.Fatalf("ephemeral %d reused too early", eph)
+		}
+		seen[eph] = true
+	}
+}
+
+func TestTagTooWideRejected(t *testing.T) {
+	ag := newAgent(t, newFakeController())
+	ue := testUE(t, 1, 1)
+	_ = ag.AdmitUE(ue, []core.Classifier{{App: policy.AppWeb, Clause: 0,
+		Tag: plan.MaxTag() + 1, Allow: true}})
+	if _, err := ag.HandlePacketIn(upPkt(ue, 40000)); err == nil {
+		t.Fatal("oversized tag should be rejected")
+	}
+}

@@ -1,0 +1,244 @@
+// Package cbench is the reproduction's Cbench [27] equivalent (§6.2): it
+// emulates a population of local agents hammering the central controller
+// with packet-classifier/path requests and measures sustained throughput,
+// and it measures a single local agent's flow-handling throughput as a
+// function of its classifier-cache hit ratio (Table 2).
+package cbench
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/ctrlproto"
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/switchsim"
+	"repro/internal/topo"
+)
+
+// ControllerOptions configure the central-controller throughput benchmark.
+type ControllerOptions struct {
+	// Agents is the number of emulated agent connections (the paper: 1000
+	// emulated switches).
+	Agents int
+	// Workers is the number of concurrent requests each connection keeps in
+	// flight — together with GOMAXPROCS this plays the role of the paper's
+	// controller thread count.
+	Workers int
+	// Duration bounds the measurement (default 1s).
+	Duration time.Duration
+	// OverWire routes requests through the ctrlproto framing over net.Pipe;
+	// false measures the controller's in-process request path only.
+	OverWire bool
+}
+
+// Result reports a throughput measurement.
+type Result struct {
+	Requests uint64
+	Elapsed  time.Duration
+}
+
+// PerSecond is the headline number.
+func (r Result) PerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%d requests in %v (%.0f/s)", r.Requests, r.Elapsed.Round(time.Millisecond), r.PerSecond())
+}
+
+// testbed is the shared fixture: a k=4 generated network with a controller
+// running the Table 1 policy and all policy paths pre-installed, so the
+// benchmark measures steady-state request handling (like Cbench's packet-in
+// storm against a warmed controller).
+type testbed struct {
+	ctrl    *core.Controller
+	clauses []int
+	nBS     int
+}
+
+func newTestbed() (*testbed, error) {
+	g, err := topo.Generate(topo.GenParams{K: 4, ClusterSize: 10, MBTypes: 3, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	pol := policy.ExampleCarrierPolicy()
+	ctrl, err := core.NewController(g.Topology, core.ControllerConfig{
+		Gateway: g.GatewayID,
+		Policy:  pol,
+		MBTypes: map[string]topo.MBType{
+			policy.MBFirewall: 0, policy.MBTranscoder: 1, policy.MBEchoCancel: 2,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := &testbed{ctrl: ctrl, nBS: len(g.Stations)}
+	for id := 0; id < pol.Len(); id++ {
+		cl, _ := pol.Clause(id)
+		if cl.Action.Allow {
+			tb.clauses = append(tb.clauses, id)
+		}
+	}
+	// Warm every (station, clause) path once.
+	for bs := 0; bs < tb.nBS; bs++ {
+		for _, c := range tb.clauses {
+			if _, err := ctrl.RequestPath(packet.BSID(bs), c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return tb, nil
+}
+
+// BenchController runs the §6.2 central-controller micro-benchmark.
+func BenchController(opts ControllerOptions) (Result, error) {
+	if opts.Agents <= 0 {
+		opts.Agents = 16
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = time.Second
+	}
+	tb, err := newTestbed()
+	if err != nil {
+		return Result{}, err
+	}
+
+	var stop atomic.Bool
+	var total uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+
+	runLoop := func(id int, ask func(bs packet.BSID, clause int) (packet.Tag, error)) {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(int64(id)))
+		var n uint64
+		for !stop.Load() {
+			bs := packet.BSID(rng.Intn(tb.nBS))
+			clause := tb.clauses[rng.Intn(len(tb.clauses))]
+			if _, err := ask(bs, clause); err != nil {
+				break
+			}
+			n++
+		}
+		atomic.AddUint64(&total, n)
+	}
+
+	if opts.OverWire {
+		srv := ctrlproto.NewServer(tb.ctrl)
+		clients := make([]*ctrlproto.Client, opts.Agents)
+		for i := range clients {
+			a, b := net.Pipe()
+			go srv.ServeConn(a)
+			clients[i] = ctrlproto.NewClient(b)
+		}
+		defer func() {
+			for _, c := range clients {
+				_ = c.Close()
+			}
+		}()
+		for i, c := range clients {
+			for w := 0; w < opts.Workers; w++ {
+				wg.Add(1)
+				go runLoop(i*opts.Workers+w, c.RequestPath)
+			}
+		}
+	} else {
+		for i := 0; i < opts.Agents*opts.Workers; i++ {
+			wg.Add(1)
+			go runLoop(i, tb.ctrl.RequestPath)
+		}
+	}
+
+	time.Sleep(opts.Duration)
+	stop.Store(true)
+	wg.Wait()
+	return Result{Requests: total, Elapsed: time.Since(start)}, nil
+}
+
+// AgentOptions configure the Table 2 local-agent benchmark.
+type AgentOptions struct {
+	// HitRatio is the classifier-cache hit fraction (1, 0.99, 0.9, 0.8, 0 in
+	// Table 2).
+	HitRatio float64
+	// Flows is the number of new-flow arrivals to process (default 20000;
+	// low hit ratios use fewer because each miss costs a controller RTT).
+	Flows int
+	// ControllerRTT simulates the network+processing round trip a cache
+	// miss pays (default 500µs, a LAN RTT plus controller work — the knob
+	// that separates Table 2's rows, not an absolute claim).
+	ControllerRTT time.Duration
+}
+
+// BenchAgent measures one local agent's new-flow throughput at a fixed
+// classifier-cache hit ratio (Table 2).
+func BenchAgent(opts AgentOptions) (Result, error) {
+	if opts.Flows <= 0 {
+		opts.Flows = 20000
+	}
+	if opts.ControllerRTT <= 0 {
+		opts.ControllerRTT = 500 * time.Microsecond
+	}
+	ctrl := &latencyController{rtt: opts.ControllerRTT}
+	plan := packet.DefaultPlan
+	sw := switchsim.NewSwitch("bench-as")
+	ag := agent.New(1, sw, plan, ctrl)
+
+	// One UE per few flows, all with a resolvable web classifier.
+	loc, err := plan.LocIP(1, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	ue := core.UE{IMSI: "bench", PermIP: packet.AddrFrom4(100, 64, 9, 9), BS: 1, UEID: 1, LocIP: loc}
+	admit := func(tag packet.Tag) error {
+		return ag.AdmitUE(ue, []core.Classifier{{App: policy.AppWeb, Clause: 1, Tag: tag, Allow: true}})
+	}
+	if err := admit(1); err != nil {
+		return Result{}, err
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	start := time.Now()
+	for i := 0; i < opts.Flows; i++ {
+		if rng.Float64() >= opts.HitRatio {
+			// Force a miss: invalidate the cached tag so this flow pays the
+			// controller round trip, exactly the Table 2 ratio semantics.
+			if err := ag.UpdateClassifiers(ue.PermIP, []core.Classifier{
+				{App: policy.AppWeb, Clause: 1, Tag: 0, Allow: true}}); err != nil {
+				return Result{}, err
+			}
+		}
+		p := &packet.Packet{
+			Src: ue.PermIP, Dst: packet.Addr(0x08080808 + uint32(i)),
+			SrcPort: uint16(20000 + i%2000), DstPort: 80, Proto: packet.ProtoTCP,
+		}
+		if _, err := ag.HandlePacketIn(p); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Requests: uint64(opts.Flows), Elapsed: time.Since(start)}, nil
+}
+
+// latencyController answers path requests after a simulated RTT.
+type latencyController struct {
+	rtt      time.Duration
+	requests uint64
+}
+
+func (l *latencyController) RequestPath(bs packet.BSID, clause int) (packet.Tag, error) {
+	atomic.AddUint64(&l.requests, 1)
+	time.Sleep(l.rtt)
+	return 1, nil
+}

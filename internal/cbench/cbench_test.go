@@ -1,0 +1,82 @@
+package cbench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBenchControllerInProcess(t *testing.T) {
+	res, err := BenchController(ControllerOptions{
+		Agents: 4, Workers: 1, Duration: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests processed")
+	}
+	if res.PerSecond() <= 0 {
+		t.Fatal("rate not positive")
+	}
+	if res.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestBenchControllerOverWire(t *testing.T) {
+	res, err := BenchController(ControllerOptions{
+		Agents: 2, Workers: 2, Duration: 100 * time.Millisecond, OverWire: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests over the wire")
+	}
+}
+
+func TestBenchAgentHitRatioOrdering(t *testing.T) {
+	fast, err := BenchAgent(AgentOptions{HitRatio: 1, Flows: 3000, ControllerRTT: 300 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := BenchAgent(AgentOptions{HitRatio: 0, Flows: 300, ControllerRTT: 300 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fast.PerSecond() > 2*slow.PerSecond()) {
+		t.Fatalf("hit ratio should dominate: 100%%=%.0f/s 0%%=%.0f/s",
+			fast.PerSecond(), slow.PerSecond())
+	}
+}
+
+func TestBenchAgentMonotoneInHitRatio(t *testing.T) {
+	rates := make([]float64, 0, 3)
+	for _, h := range []float64{0, 0.9, 1} {
+		flows := 400
+		if h == 1 {
+			flows = 4000
+		}
+		res, err := BenchAgent(AgentOptions{HitRatio: h, Flows: flows, ControllerRTT: 300 * time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates = append(rates, res.PerSecond())
+	}
+	if !(rates[0] < rates[1] && rates[1] < rates[2]) {
+		t.Fatalf("rates not monotone in hit ratio: %v", rates)
+	}
+}
+
+func TestZeroValueDefaults(t *testing.T) {
+	res, err := BenchController(ControllerOptions{Duration: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("defaults produced no work")
+	}
+	if (Result{}).PerSecond() != 0 {
+		t.Fatal("zero result rate")
+	}
+}

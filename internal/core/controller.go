@@ -1,0 +1,429 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/routing"
+	"repro/internal/store"
+	"repro/internal/topo"
+)
+
+// UE is the controller's view of one attached device.
+type UE struct {
+	IMSI   string
+	Attr   policy.Attributes
+	PermIP packet.Addr // permanent address (DHCP at first attach, never changes)
+	BS     packet.BSID // current base station
+	UEID   packet.UEID // local ID at the current base station
+	LocIP  packet.Addr // location-dependent address (changes on handoff)
+}
+
+// Classifier is one per-UE packet classifier the controller ships to a local
+// agent (§4.2): flows of App get Tag; Tag 0 means no policy path exists yet
+// and the agent must come back (the "send-to-controller" action).
+type Classifier struct {
+	App    policy.AppType
+	Clause int
+	Tag    packet.Tag // the access-side tag to embed; 0 = ask the controller
+	Allow  bool
+	QoS    policy.QoS
+}
+
+// pathKey caches policy paths per (origin, clause).
+type pathKey struct {
+	bs     packet.BSID
+	clause int
+}
+
+// ControllerConfig parameterises NewController.
+type ControllerConfig struct {
+	Plan     packet.Plan // zero value = packet.DefaultPlan
+	Gateway  topo.NodeID
+	Policy   *policy.Policy
+	MBTypes  map[string]topo.MBType // middlebox function name -> topology type
+	Replicas int                    // control-store replicas (§5.2); default 1
+	// PermPool is the block permanent UE addresses are drawn from; it must
+	// not overlap the carrier's LocIP block. Zero value = 100.64.0.0/10.
+	PermPool packet.Prefix
+	// Installer options (ablations, candidate bounds) pass through.
+	Install InstallerOptions
+}
+
+// Controller is the SoftCell central controller: it owns the subscriber
+// database, UE state, policy-path installation and the replicated control
+// store. It is safe for concurrent use (a single lock — the controller's
+// work items are small; the throughput benchmarks measure exactly this).
+type Controller struct {
+	mu sync.Mutex
+
+	T         *topo.Topology
+	Planner   *routing.Planner
+	Installer *Installer
+	Policy    *policy.Policy
+	Store     *store.Store
+
+	plan     packet.Plan
+	gateway  topo.NodeID
+	mbTypes  map[string]topo.MBType
+	permPool packet.Prefix
+	permNext uint32
+
+	subscribers map[string]policy.Attributes
+	ues         map[string]*UE
+	byLoc       map[packet.Addr]string // LocIP -> IMSI
+	byPerm      map[packet.Addr]string // permanent IP -> IMSI
+	// reservations holds, per still-reserved old LocIP, the live shortcut
+	// state for in-flight flows of a moved UE (§5.1); retargeted on every
+	// subsequent handoff, removed by ReleaseOldLocIP's soft timeout.
+	reservations map[packet.Addr]*reservation
+	nextUEID     map[packet.BSID]packet.UEID
+	freeUEIDs    map[packet.BSID][]packet.UEID
+	paths        map[pathKey]*InstalledPath
+
+	// Stats
+	Attaches uint64
+	Handoffs uint64
+	PathAsks uint64
+	PathMiss uint64 // asks that had to install a new path
+}
+
+// NewController wires a controller over the topology.
+func NewController(t *topo.Topology, cfg ControllerConfig) (*Controller, error) {
+	if cfg.Plan == (packet.Plan{}) {
+		cfg.Plan = packet.DefaultPlan
+	}
+	if err := cfg.Plan.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("core: controller needs a service policy")
+	}
+	if cfg.PermPool == (packet.Prefix{}) {
+		cfg.PermPool = packet.NewPrefix(packet.AddrFrom4(100, 64, 0, 0), 10)
+	}
+	if cfg.PermPool.Overlaps(cfg.Plan.Carrier) {
+		return nil, fmt.Errorf("core: permanent pool %s overlaps carrier block %s", cfg.PermPool, cfg.Plan.Carrier)
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	opts := cfg.Install
+	opts.Plan = cfg.Plan
+	inst, err := NewInstaller(t, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Location routing is base infrastructure (Fig. 3(a)): build it now so
+	// location-routed traffic works before the first policy path.
+	inst.EnableLocationRouting(cfg.Gateway)
+	return &Controller{
+		T:            t,
+		Planner:      routing.NewPlanner(t),
+		Installer:    inst,
+		Policy:       cfg.Policy,
+		Store:        store.New(cfg.Replicas),
+		plan:         cfg.Plan,
+		gateway:      cfg.Gateway,
+		mbTypes:      cfg.MBTypes,
+		permPool:     cfg.PermPool,
+		subscribers:  make(map[string]policy.Attributes),
+		ues:          make(map[string]*UE),
+		byLoc:        make(map[packet.Addr]string),
+		byPerm:       make(map[packet.Addr]string),
+		reservations: make(map[packet.Addr]*reservation),
+		nextUEID:     make(map[packet.BSID]packet.UEID),
+		freeUEIDs:    make(map[packet.BSID][]packet.UEID),
+		paths:        make(map[pathKey]*InstalledPath),
+	}, nil
+}
+
+// Plan exposes the controller's address plan.
+func (c *Controller) Plan() packet.Plan { return c.plan }
+
+// Gateway exposes the controller's gateway switch.
+func (c *Controller) Gateway() topo.NodeID { return c.gateway }
+
+// PermPool exposes the permanent-address block.
+func (c *Controller) PermPool() packet.Prefix { return c.permPool }
+
+// RegisterSubscriber loads one subscriber record (the HSS equivalent).
+func (c *Controller) RegisterSubscriber(imsi string, attr policy.Attributes) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.subscribers[imsi] = attr
+	blob, err := json.Marshal(attr)
+	if err != nil {
+		return err
+	}
+	_, err = c.Store.Put("sub/"+imsi, blob)
+	return err
+}
+
+// allocLocIP assigns a fresh (UEID, LocIP) at a base station.
+func (c *Controller) allocLocIP(bs packet.BSID) (packet.UEID, packet.Addr, error) {
+	var id packet.UEID
+	if free := c.freeUEIDs[bs]; len(free) > 0 {
+		id = free[len(free)-1]
+		c.freeUEIDs[bs] = free[:len(free)-1]
+	} else {
+		id = c.nextUEID[bs] + 1
+		if id > c.plan.MaxUE() {
+			return 0, 0, fmt.Errorf("core: base station %d out of UE IDs", bs)
+		}
+		c.nextUEID[bs] = id
+	}
+	loc, err := c.plan.LocIP(bs, id)
+	if err != nil {
+		return 0, 0, err
+	}
+	return id, loc, nil
+}
+
+// Attach admits a UE at a base station: it allocates a permanent IP on
+// first attach, a location-dependent address, and compiles the per-UE
+// packet classifiers for the local agent.
+func (c *Controller) Attach(imsi string, bs packet.BSID) (UE, []Classifier, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	attr, ok := c.subscribers[imsi]
+	if !ok {
+		return UE{}, nil, fmt.Errorf("core: unknown subscriber %q", imsi)
+	}
+	if _, ok := c.T.Station(bs); !ok {
+		return UE{}, nil, fmt.Errorf("core: unknown base station %d", bs)
+	}
+	ue := c.ues[imsi]
+	if ue == nil {
+		hostBits := 32 - c.permPool.Len
+		if c.permNext >= 1<<hostBits-1 {
+			return UE{}, nil, fmt.Errorf("core: permanent pool exhausted")
+		}
+		c.permNext++
+		ue = &UE{IMSI: imsi, Attr: attr, PermIP: c.permPool.Addr | packet.Addr(c.permNext)}
+		c.ues[imsi] = ue
+		c.byPerm[ue.PermIP] = imsi
+	} else if ue.BS == bs && ue.LocIP != 0 {
+		// Re-attach at the same station keeps the allocation.
+		return *ue, c.classifiersLocked(ue), nil
+	}
+	id, loc, err := c.allocLocIP(bs)
+	if err != nil {
+		return UE{}, nil, err
+	}
+	if ue.LocIP != 0 {
+		delete(c.byLoc, ue.LocIP)
+		c.freeUEIDs[ue.BS] = append(c.freeUEIDs[ue.BS], ue.UEID)
+	}
+	ue.BS, ue.UEID, ue.LocIP = bs, id, loc
+	c.byLoc[loc] = imsi
+	c.Attaches++
+	if err := c.persistUELocked(ue); err != nil {
+		return UE{}, nil, err
+	}
+	return *ue, c.classifiersLocked(ue), nil
+}
+
+func (c *Controller) persistUELocked(ue *UE) error {
+	blob, err := json.Marshal(ue)
+	if err != nil {
+		return err
+	}
+	_, err = c.Store.Put("ue/"+ue.IMSI, blob)
+	return err
+}
+
+// classifiersLocked compiles the service policy for one UE, resolving tags
+// for clauses whose policy paths already exist at the UE's base station.
+func (c *Controller) classifiersLocked(ue *UE) []Classifier {
+	entries := c.Policy.Compile(ue.Attr)
+	out := make([]Classifier, 0, len(entries))
+	for _, e := range entries {
+		cl := Classifier{App: e.App, Clause: e.Clause, Allow: e.Action.Allow, QoS: e.Action.QoS}
+		if e.Action.Allow {
+			if rec, ok := c.paths[pathKey{ue.BS, e.Clause}]; ok {
+				cl.Tag = rec.AccessTag()
+			}
+			// Tag 0 = "send to controller": the agent asks for the path on
+			// first use (§4.2's second classifier example).
+		}
+		out = append(out, cl)
+	}
+	return out
+}
+
+// RequestPath resolves (installing if needed) the policy path for a clause
+// from a base station, returning the access-side tag the agent embeds.
+// This is the controller's hot path: the micro-benchmarks drive it.
+func (c *Controller) RequestPath(bs packet.BSID, clause int) (packet.Tag, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.requestPathLocked(bs, clause)
+}
+
+func (c *Controller) requestPathLocked(bs packet.BSID, clause int) (packet.Tag, error) {
+	c.PathAsks++
+	if rec, ok := c.paths[pathKey{bs, clause}]; ok {
+		return rec.AccessTag(), nil
+	}
+	cl, ok := c.Policy.Clause(clause)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown policy clause %d", clause)
+	}
+	if !cl.Action.Allow {
+		return 0, fmt.Errorf("core: clause %d denies traffic", clause)
+	}
+	chain := make([]topo.MBType, 0, len(cl.Action.Chain))
+	for _, fn := range cl.Action.Chain {
+		typ, ok := c.mbTypes[fn]
+		if !ok {
+			return 0, fmt.Errorf("core: no middlebox type mapped for function %q", fn)
+		}
+		chain = append(chain, typ)
+	}
+	route, err := c.Planner.Plan(bs, chain, c.gateway)
+	if err != nil {
+		return 0, err
+	}
+	rec, err := c.Installer.InstallPath(route)
+	if err != nil {
+		return 0, err
+	}
+	c.paths[pathKey{bs, clause}] = rec
+	c.PathMiss++
+	key := fmt.Sprintf("path/%d/%d", bs, clause)
+	blob := make([]byte, 8)
+	binary.BigEndian.PutUint64(blob, uint64(rec.ID))
+	if _, err := c.Store.Put(key, blob); err != nil {
+		return 0, err
+	}
+	return rec.AccessTag(), nil
+}
+
+// LookupUE resolves a UE by IMSI.
+func (c *Controller) LookupUE(imsi string) (UE, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ue, ok := c.ues[imsi]
+	if !ok {
+		return UE{}, false
+	}
+	return *ue, true
+}
+
+// ResolveLocIP translates a UE's permanent address to its current
+// location-dependent address — what an access agent needs to set up a
+// mobile-to-mobile flow (§7: "SoftCell establishes a direct path between
+// them without detouring via a gateway").
+func (c *Controller) ResolveLocIP(perm packet.Addr) (packet.Addr, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	imsi, ok := c.byPerm[perm]
+	if !ok {
+		return 0, fmt.Errorf("core: no UE with permanent address %s", perm)
+	}
+	ue := c.ues[imsi]
+	if ue.LocIP == 0 {
+		return 0, fmt.Errorf("core: UE %q is detached", imsi)
+	}
+	return ue.LocIP, nil
+}
+
+// LookupByLocIP resolves a UE by its current location-dependent address.
+func (c *Controller) LookupByLocIP(loc packet.Addr) (UE, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	imsi, ok := c.byLoc[loc]
+	if !ok {
+		return UE{}, false
+	}
+	return *c.ues[imsi], true
+}
+
+// Detach releases a UE's location state (its permanent IP remains bound to
+// the IMSI, as in real cores).
+func (c *Controller) Detach(imsi string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ue, ok := c.ues[imsi]
+	if !ok {
+		return fmt.Errorf("core: unknown UE %q", imsi)
+	}
+	if ue.LocIP != 0 {
+		delete(c.byLoc, ue.LocIP)
+		c.freeUEIDs[ue.BS] = append(c.freeUEIDs[ue.BS], ue.UEID)
+		ue.LocIP, ue.UEID = 0, 0
+	}
+	if _, err := c.Store.Delete("ue/" + imsi); err != nil {
+		return err
+	}
+	return nil
+}
+
+// AgentLocationReport is what a local agent answers during failover
+// recovery: the UEs currently attached at its base station.
+type AgentLocationReport struct {
+	BS  packet.BSID
+	UEs []UE
+}
+
+// RecoverLocations rebuilds the UE-location state from live agents' reports
+// (§5.2: "a replica can correctly rebuild the UE location state by querying
+// local agents"). Existing location state is discarded first.
+func (c *Controller) RecoverLocations(reports []AgentLocationReport) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byLoc = make(map[packet.Addr]string)
+	c.nextUEID = make(map[packet.BSID]packet.UEID)
+	c.freeUEIDs = make(map[packet.BSID][]packet.UEID)
+	for _, ue := range c.ues {
+		ue.LocIP, ue.UEID, ue.BS = 0, 0, 0
+	}
+	for _, rep := range reports {
+		for _, u := range rep.UEs {
+			ue, ok := c.ues[u.IMSI]
+			if !ok {
+				ue = &UE{IMSI: u.IMSI, Attr: u.Attr, PermIP: u.PermIP}
+				c.ues[u.IMSI] = ue
+			}
+			ue.BS, ue.UEID, ue.LocIP = rep.BS, u.UEID, u.LocIP
+			c.byLoc[u.LocIP] = u.IMSI
+			if u.UEID > c.nextUEID[rep.BS] {
+				c.nextUEID[rep.BS] = u.UEID
+			}
+			if err := c.persistUELocked(ue); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RemovePolicyPaths withdraws every installed path of one policy clause
+// (policy change or middlebox rebalancing) and rebuilds the forwarding
+// state from the remaining paths — removal by recomputation, per the
+// paper's offline-algorithm discussion. Classifier caches at agents go
+// stale by design: their next flow for the clause asks the controller
+// again (tag 0 semantics).
+func (c *Controller) RemovePolicyPaths(clause int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	drop := make(map[PathID]bool)
+	for key, rec := range c.paths {
+		if key.clause == clause {
+			drop[rec.ID] = true
+			delete(c.paths, key)
+			if _, err := c.Store.Delete(fmt.Sprintf("path/%d/%d", key.bs, clause)); err != nil {
+				return err
+			}
+		}
+	}
+	if len(drop) == 0 {
+		return nil
+	}
+	return c.Installer.Rebuild(func(p *InstalledPath) bool { return !drop[p.ID] })
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/topo"
+)
+
+// testController builds a controller over the Fig. 3 network with the
+// Table 1 policy; middlebox type 0 = firewall, 1 = transcoder, 2 = echo
+// cancel (attached alongside the transcoders for simplicity).
+func testController(t *testing.T) (*Controller, *fig3Net) {
+	t.Helper()
+	n := newFig3Net(t)
+	if _, err := n.AttachMiddlebox(2, n.cs1); err != nil { // echo-cancel
+		t.Fatal(err)
+	}
+	c, err := NewController(n.Topology, ControllerConfig{
+		Gateway: n.gw,
+		Policy:  policy.ExampleCarrierPolicy(),
+		MBTypes: map[string]topo.MBType{
+			policy.MBFirewall:   0,
+			policy.MBTranscoder: 1,
+			policy.MBEchoCancel: 2,
+		},
+		Replicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, n
+}
+
+func TestAttachAllocatesAddresses(t *testing.T) {
+	c, _ := testController(t)
+	if err := c.RegisterSubscriber("imsi-1", policy.Attributes{Provider: "A", Plan: "silver"}); err != nil {
+		t.Fatal(err)
+	}
+	ue, cls, err := c.Attach("imsi-1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ue.PermIP == 0 || ue.LocIP == 0 || ue.UEID == 0 {
+		t.Fatalf("addresses not allocated: %+v", ue)
+	}
+	bs, id, ok := c.Plan().Split(ue.LocIP)
+	if !ok || bs != 0 || id != ue.UEID {
+		t.Fatalf("LocIP %s does not decode to allocation", ue.LocIP)
+	}
+	if len(cls) == 0 {
+		t.Fatal("no classifiers compiled")
+	}
+	// No paths installed yet: all allow-classifiers say "ask".
+	for _, cl := range cls {
+		if cl.Allow && cl.Tag != 0 {
+			t.Fatalf("classifier has premature tag: %+v", cl)
+		}
+	}
+	got, ok := c.LookupByLocIP(ue.LocIP)
+	if !ok || got.IMSI != "imsi-1" {
+		t.Fatal("LookupByLocIP failed")
+	}
+}
+
+func TestAttachUnknownSubscriber(t *testing.T) {
+	c, _ := testController(t)
+	if _, _, err := c.Attach("ghost", 0); err == nil {
+		t.Fatal("unknown subscriber should fail")
+	}
+	_ = c.RegisterSubscriber("x", policy.Attributes{Provider: "A"})
+	if _, _, err := c.Attach("x", 99); err == nil {
+		t.Fatal("unknown base station should fail")
+	}
+}
+
+func TestAttachDistinctAddresses(t *testing.T) {
+	c, _ := testController(t)
+	seenPerm := map[packet.Addr]bool{}
+	seenLoc := map[packet.Addr]bool{}
+	for i := 0; i < 20; i++ {
+		imsi := fmt.Sprintf("imsi-%d", i)
+		_ = c.RegisterSubscriber(imsi, policy.Attributes{Provider: "A"})
+		ue, _, err := c.Attach(imsi, packet.BSID(i%4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seenPerm[ue.PermIP] || seenLoc[ue.LocIP] {
+			t.Fatalf("duplicate address for %s: %+v", imsi, ue)
+		}
+		seenPerm[ue.PermIP] = true
+		seenLoc[ue.LocIP] = true
+	}
+}
+
+func TestReattachSameStationIsStable(t *testing.T) {
+	c, _ := testController(t)
+	_ = c.RegisterSubscriber("a", policy.Attributes{Provider: "A"})
+	ue1, _, _ := c.Attach("a", 1)
+	ue2, _, err := c.Attach("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ue1.LocIP != ue2.LocIP || ue1.PermIP != ue2.PermIP {
+		t.Fatal("re-attach should keep allocations")
+	}
+}
+
+func TestRequestPathCachesAndTags(t *testing.T) {
+	c, _ := testController(t)
+	_ = c.RegisterSubscriber("a", policy.Attributes{Provider: "A", Plan: "silver"})
+	ue, _, _ := c.Attach("a", 0)
+	clause, ok := c.Policy.Match(ue.Attr, policy.AppVideo)
+	if !ok {
+		t.Fatal("no clause for video")
+	}
+	tag1, err := c.RequestPath(0, clause)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag1 == 0 {
+		t.Fatal("no tag returned")
+	}
+	tag2, err := c.RequestPath(0, clause)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag1 != tag2 {
+		t.Fatal("second request should hit the cache")
+	}
+	if c.PathAsks != 2 || c.PathMiss != 1 {
+		t.Fatalf("asks=%d miss=%d", c.PathAsks, c.PathMiss)
+	}
+	// Classifiers compiled now resolve the tag.
+	_, cls, _ := c.Attach("a", 0)
+	found := false
+	for _, cl := range cls {
+		if cl.App == policy.AppVideo && cl.Tag == tag1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("classifier should carry tag %d: %+v", tag1, cls)
+	}
+}
+
+func TestRequestPathErrors(t *testing.T) {
+	c, _ := testController(t)
+	if _, err := c.RequestPath(0, 999); err == nil {
+		t.Error("unknown clause should fail")
+	}
+	// Clause 1 of the example policy is the foreign deny.
+	denyID, ok := c.Policy.Match(policy.Attributes{Provider: "C"}, policy.AppWeb)
+	if !ok {
+		t.Fatal("deny clause not found")
+	}
+	if _, err := c.RequestPath(0, denyID); err == nil {
+		t.Error("deny clause should not install a path")
+	}
+}
+
+func TestHandoffMovesUE(t *testing.T) {
+	c, _ := testController(t)
+	_ = c.RegisterSubscriber("a", policy.Attributes{Provider: "A", Plan: "silver"})
+	ue, _, _ := c.Attach("a", 0)
+	oldLoc := ue.LocIP
+	clause, _ := c.Policy.Match(ue.Attr, policy.AppVideo)
+	if _, err := c.RequestPath(0, clause); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.Handoff("a", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OldBS != 0 || res.OldLocIP != oldLoc {
+		t.Fatalf("handoff bookkeeping: %+v", res)
+	}
+	if res.UE.BS != 2 || res.UE.LocIP == oldLoc || res.UE.LocIP == 0 {
+		t.Fatalf("UE not moved: %+v", res.UE)
+	}
+	if res.UE.PermIP != ue.PermIP {
+		t.Fatal("permanent IP must not change")
+	}
+	if len(res.Shortcuts) == 0 {
+		t.Fatal("expected a shortcut for the cached path")
+	}
+	// The old LocIP is reserved, not reallocated: attaching new UEs at the
+	// old station must not receive it.
+	for i := 0; i < 5; i++ {
+		imsi := fmt.Sprintf("n%d", i)
+		_ = c.RegisterSubscriber(imsi, policy.Attributes{Provider: "A"})
+		nu, _, err := c.Attach(imsi, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nu.LocIP == oldLoc {
+			t.Fatal("old LocIP reassigned during transition")
+		}
+	}
+	// Shortcut rules route old-LocIP traffic to the new access switch.
+	sc := res.Shortcuts[0]
+	if sc.Route[len(sc.Route)-1] != mustStation(t, c.T, 2).Access {
+		t.Fatalf("shortcut ends at %d", sc.Route[len(sc.Route)-1])
+	}
+	// After release, the rules disappear and the address can be reused.
+	before := c.Installer.Stats().Rules
+	c.ReleaseOldLocIP(oldLoc, res.Shortcuts)
+	if c.Installer.Stats().Rules >= before {
+		t.Fatal("shortcut rules not removed")
+	}
+}
+
+func mustStation(t *testing.T, tp *topo.Topology, bs packet.BSID) topo.BaseStation {
+	t.Helper()
+	st, ok := tp.Station(bs)
+	if !ok {
+		t.Fatalf("station %d missing", bs)
+	}
+	return st
+}
+
+func TestHandoffErrors(t *testing.T) {
+	c, _ := testController(t)
+	if _, err := c.Handoff("ghost", 1); err == nil {
+		t.Error("unattached UE should fail")
+	}
+	_ = c.RegisterSubscriber("a", policy.Attributes{Provider: "A"})
+	_, _, _ = c.Attach("a", 0)
+	if _, err := c.Handoff("a", 0); err == nil {
+		t.Error("handoff to the same station should fail")
+	}
+	if _, err := c.Handoff("a", 77); err == nil {
+		t.Error("unknown station should fail")
+	}
+}
+
+func TestDetachFreesLocIP(t *testing.T) {
+	c, _ := testController(t)
+	_ = c.RegisterSubscriber("a", policy.Attributes{Provider: "A"})
+	ue, _, _ := c.Attach("a", 0)
+	if err := c.Detach("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.LookupByLocIP(ue.LocIP); ok {
+		t.Fatal("detached LocIP should not resolve")
+	}
+	if err := c.Detach("ghost"); err == nil {
+		t.Fatal("unknown UE should fail")
+	}
+	// The freed UEID is reused.
+	_ = c.RegisterSubscriber("b", policy.Attributes{Provider: "A"})
+	ue2, _, _ := c.Attach("b", 0)
+	if ue2.UEID != ue.UEID {
+		t.Fatalf("freed UEID not reused: %d vs %d", ue2.UEID, ue.UEID)
+	}
+}
+
+func TestRecoverLocationsFromAgents(t *testing.T) {
+	c, _ := testController(t)
+	var want []UE
+	for i := 0; i < 6; i++ {
+		imsi := fmt.Sprintf("imsi-%d", i)
+		_ = c.RegisterSubscriber(imsi, policy.Attributes{Provider: "A"})
+		ue, _, err := c.Attach(imsi, packet.BSID(i%3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ue)
+	}
+	// Simulate controller failover: replica takes over with no location
+	// state, then rebuilds from agent reports (§5.2).
+	if _, err := c.Store.Failover(); err != nil {
+		t.Fatal(err)
+	}
+	reports := map[packet.BSID]*AgentLocationReport{}
+	for _, ue := range want {
+		r := reports[ue.BS]
+		if r == nil {
+			r = &AgentLocationReport{BS: ue.BS}
+			reports[ue.BS] = r
+		}
+		r.UEs = append(r.UEs, ue)
+	}
+	var reps []AgentLocationReport
+	for _, r := range reports {
+		reps = append(reps, *r)
+	}
+	if err := c.RecoverLocations(reps); err != nil {
+		t.Fatal(err)
+	}
+	for _, ue := range want {
+		got, ok := c.LookupUE(ue.IMSI)
+		if !ok || got.BS != ue.BS || got.LocIP != ue.LocIP || got.PermIP != ue.PermIP {
+			t.Fatalf("recovered %+v, want %+v", got, ue)
+		}
+		if byLoc, ok := c.LookupByLocIP(ue.LocIP); !ok || byLoc.IMSI != ue.IMSI {
+			t.Fatalf("byLoc index not rebuilt for %s", ue.IMSI)
+		}
+	}
+	// Allocation continues without collisions after recovery.
+	_ = c.RegisterSubscriber("new", policy.Attributes{Provider: "A"})
+	nu, _, err := c.Attach("new", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ue := range want {
+		if ue.LocIP == nu.LocIP {
+			t.Fatal("post-recovery allocation collided")
+		}
+	}
+}
+
+func TestControllerConfigValidation(t *testing.T) {
+	n := newFig3Net(t)
+	if _, err := NewController(n.Topology, ControllerConfig{Gateway: n.gw}); err == nil {
+		t.Error("missing policy should fail")
+	}
+	if _, err := NewController(n.Topology, ControllerConfig{
+		Gateway:  n.gw,
+		Policy:   policy.ExampleCarrierPolicy(),
+		PermPool: packet.NewPrefix(packet.AddrFrom4(10, 1, 0, 0), 16),
+	}); err == nil {
+		t.Error("perm pool overlapping carrier should fail")
+	}
+}
+
+func TestStorePersistsControlState(t *testing.T) {
+	c, _ := testController(t)
+	_ = c.RegisterSubscriber("a", policy.Attributes{Provider: "A"})
+	ue, _, _ := c.Attach("a", 0)
+	if _, ok := c.Store.Get("sub/a"); !ok {
+		t.Error("subscriber not in store")
+	}
+	if _, ok := c.Store.Get("ue/a"); !ok {
+		t.Error("UE not in store")
+	}
+	clause, _ := c.Policy.Match(ue.Attr, policy.AppWeb)
+	if _, err := c.RequestPath(0, clause); err != nil {
+		t.Fatal(err)
+	}
+	if keys := c.Store.Keys("path/"); len(keys) != 1 {
+		t.Errorf("path keys = %v", keys)
+	}
+	// Replicas carry the same state.
+	for _, r := range c.Store.Replicas() {
+		if _, ok := r.Get("ue/a"); !ok {
+			t.Errorf("replica %s missing UE", r.Name())
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/topo"
+)
+
+// Remove deletes the exact entry for p, if present. Entries merged into
+// shorter blocks cannot be removed individually; mobility rules are
+// installed unmerged for exactly this reason.
+func (t *prefixTrie) Remove(p packet.Prefix) bool {
+	n := t.node(p, false)
+	if n == nil || !n.set {
+		return false
+	}
+	n.set = false
+	t.count--
+	return true
+}
+
+// RemoveMobility deletes a /32 mobility override for one tag.
+func (f *FIB) RemoveMobility(dir Direction, tag packet.Tag, loc packet.Addr) bool {
+	t := f.mob[tagKey{dir, tag}]
+	if t == nil {
+		return false
+	}
+	return t.Remove(packet.Prefix{Addr: loc, Len: 32})
+}
+
+// insertMobilityNoAgg installs an unmerged /32 override (so a later removal
+// is exact).
+func (f *FIB) insertMobilityNoAgg(dir Direction, tag packet.Tag, loc packet.Addr, nh NextHop) int {
+	k := tagKey{dir, tag}
+	t := f.mob[k]
+	if t == nil {
+		t = newPrefixTrie()
+		f.mob[k] = t
+	}
+	return insertNoAgg(t, packet.Prefix{Addr: loc, Len: 32}, nh)
+}
+
+// insertMobilityFromMB installs a branch-switch override that applies only
+// to traffic returning from the given middlebox with the given tag.
+func (f *FIB) insertMobilityFromMB(dir Direction, mb topo.MBInstanceID, tag packet.Tag, loc packet.Addr, nh NextHop) int {
+	k := mbCtx{dir, mb, tag}
+	t := f.mobMB[k]
+	if t == nil {
+		t = newPrefixTrie()
+		f.mobMB[k] = t
+	}
+	return insertNoAgg(t, packet.Prefix{Addr: loc, Len: 32}, nh)
+}
+
+// removeMobilityFromMB deletes a branch-switch override.
+func (f *FIB) removeMobilityFromMB(dir Direction, mb topo.MBInstanceID, tag packet.Tag, loc packet.Addr) bool {
+	t := f.mobMB[mbCtx{dir, mb, tag}]
+	if t == nil {
+		return false
+	}
+	return t.Remove(packet.Prefix{Addr: loc, Len: 32})
+}
+
+// Shortcut records the temporary mobility overrides installed for one moved
+// UE along one old policy path (§5.1: "the controller can establish
+// temporary shortcut paths ... removed when a soft timeout expires").
+type Shortcut struct {
+	Loc      packet.Addr
+	Route    []topo.NodeID     // branch-point switch ... new access switch
+	BranchMB topo.MBInstanceID // last middlebox at Route[0]; NoMB when none
+	PathTags []packet.Tag      // the path's segment tags matched at the branch
+	Delivery packet.Tag        // the access-side tag rewritten onto the flow
+}
+
+// InstallShortcut installs downstream /32 overrides for loc along route,
+// chaining from the branch point toward the new access switch. At the
+// branch, one entry per path segment tag matches the flow wherever in the
+// tag sequence it is and rewrites it to the delivery (access-side) tag —
+// shortcuts bypass the old path's remaining switches, including any
+// tag-swap rules, so the rewrite must happen here. When the branch switch
+// hosts the path's last middlebox, the entries are qualified by its return
+// port so traffic still enters the box before taking the shortcut. Only the
+// DOWNSTREAM direction gets shortcut state (§5.1: shortcuts direct
+// "incoming packets"); upstream old flows triangle-route through the
+// inter-station tunnel to their origin station, where the old path's rules
+// exist.
+// It returns the shortcut handle and the number of rules added.
+func (in *Installer) InstallShortcut(loc packet.Addr, route []topo.NodeID, branchMB topo.MBInstanceID, pathTags []packet.Tag, delivery packet.Tag) (*Shortcut, int, error) {
+	if len(route) < 2 {
+		return nil, 0, fmt.Errorf("core: shortcut route needs at least two switches")
+	}
+	if len(pathTags) == 0 || delivery == 0 {
+		return nil, 0, fmt.Errorf("core: shortcut needs the path's tags")
+	}
+	rules := 0
+	first := NextHop{Node: route[1], MB: NoMB, NewTag: delivery}
+	for _, t := range pathTags {
+		if branchMB != NoMB {
+			rules += in.fibs[route[0]].insertMobilityFromMB(Down, branchMB, t, loc, first)
+		} else {
+			rules += in.fibs[route[0]].insertMobilityNoAgg(Down, t, loc, first)
+		}
+	}
+	for i := 1; i < len(route)-1; i++ {
+		rules += in.fibs[route[i]].insertMobilityNoAgg(Down, delivery, loc, ToNode(route[i+1]))
+	}
+	in.stats.Rules += rules
+	return &Shortcut{Loc: loc, Route: append([]topo.NodeID(nil), route...),
+		BranchMB: branchMB, PathTags: append([]packet.Tag(nil), pathTags...),
+		Delivery: delivery}, rules, nil
+}
+
+// RemoveShortcut tears a shortcut down (the soft-timeout expiry).
+func (in *Installer) RemoveShortcut(sc *Shortcut) int {
+	removed := 0
+	for _, t := range sc.PathTags {
+		if sc.BranchMB != NoMB {
+			if in.fibs[sc.Route[0]].removeMobilityFromMB(Down, sc.BranchMB, t, sc.Loc) {
+				removed++
+			}
+		} else if in.fibs[sc.Route[0]].RemoveMobility(Down, t, sc.Loc) {
+			removed++
+		}
+	}
+	for i := 1; i < len(sc.Route)-1; i++ {
+		if in.fibs[sc.Route[i]].RemoveMobility(Down, sc.Delivery, sc.Loc) {
+			removed++
+		}
+	}
+	in.stats.Rules -= removed
+	return removed
+}
+
+// reservation tracks one reserved old LocIP and its current shortcuts.
+type reservation struct {
+	imsi      string
+	shortcuts []*Shortcut
+}
+
+// retargetReservationsLocked points every reserved LocIP of a UE at its
+// newest station: old shortcuts come down, fresh ones (from each cached
+// path's branch point at the LocIP's origin station) go in.
+func (c *Controller) retargetReservationsLocked(imsi string, newAccess topo.NodeID) []*Shortcut {
+	var all []*Shortcut
+	for loc, rsv := range c.reservations {
+		if rsv.imsi != imsi {
+			continue
+		}
+		for _, sc := range rsv.shortcuts {
+			c.Installer.RemoveShortcut(sc)
+		}
+		rsv.shortcuts = nil
+		originBS, _, ok := c.plan.Split(loc)
+		if !ok {
+			continue
+		}
+		for key, rec := range c.paths {
+			if key.bs != originBS {
+				continue
+			}
+			branch, branchMB := branchPoint(rec)
+			route, err := c.descendRoute(branch, newAccess)
+			if err != nil || len(route) < 2 {
+				continue // triangle routing via the tunnels still covers it
+			}
+			sc, _, err := c.Installer.InstallShortcut(loc, route, branchMB, rec.Tags, rec.AccessTag())
+			if err == nil {
+				rsv.shortcuts = append(rsv.shortcuts, sc)
+				all = append(all, sc)
+			}
+		}
+	}
+	return all
+}
+
+// HandoffResult is everything the rest of the system needs to complete a
+// UE's move: the updated UE record, where it came from (for microflow
+// copying and the inter-station tunnel), the classifiers for the new
+// station's agent, and the shortcuts installed for its old flows.
+type HandoffResult struct {
+	UE          UE
+	OldBS       packet.BSID
+	OldLocIP    packet.Addr
+	Classifiers []Classifier
+	Shortcuts   []*Shortcut
+}
+
+// Handoff moves a UE to a new base station (§5.1):
+//
+//   - a fresh (UE ID, LocIP) is allocated at the new station; the old LocIP
+//     stays reserved (not reassigned) until ReleaseOldLocIP, so in-flight
+//     downstream packets stay unambiguous;
+//   - for every policy path cached at the old station, a temporary shortcut
+//     redirects old-LocIP traffic from the path's branch point (after its
+//     last middlebox) to the new station — preserving the middlebox
+//     sequence, i.e. policy consistency;
+//   - classifiers for the new station are returned for the new local agent.
+//
+// Copying the old station's microflows and wiring the inter-station tunnel
+// is the access layer's job; the dataplane package does both.
+func (c *Controller) Handoff(imsi string, newBS packet.BSID) (HandoffResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ue, ok := c.ues[imsi]
+	if !ok || ue.LocIP == 0 {
+		return HandoffResult{}, fmt.Errorf("core: UE %q is not attached", imsi)
+	}
+	newStation, ok := c.T.Station(newBS)
+	if !ok {
+		return HandoffResult{}, fmt.Errorf("core: unknown base station %d", newBS)
+	}
+	if ue.BS == newBS {
+		return HandoffResult{}, fmt.Errorf("core: UE %q already at base station %d", imsi, newBS)
+	}
+	oldBS, oldLoc := ue.BS, ue.LocIP
+
+	id, loc, err := c.allocLocIP(newBS)
+	if err != nil {
+		return HandoffResult{}, err
+	}
+	// The old LocIP stays mapped to this UE (reserved) for old flows.
+	ue.BS, ue.UEID, ue.LocIP = newBS, id, loc
+	c.byLoc[loc] = imsi
+	c.Handoffs++
+	if err := c.persistUELocked(ue); err != nil {
+		return HandoffResult{}, err
+	}
+
+	res := HandoffResult{UE: *ue, OldBS: oldBS, OldLocIP: oldLoc,
+		Classifiers: c.classifiersLocked(ue)}
+
+	// Reserve the vacated address and (re)target every reserved LocIP of
+	// this UE — including ones from earlier, still-unreleased handoffs — at
+	// the new station, so old-flow shortcuts never point at an intermediate
+	// station the UE has already left.
+	c.reservations[oldLoc] = &reservation{imsi: imsi}
+	res.Shortcuts = c.retargetReservationsLocked(imsi, newStation.Access)
+	return res, nil
+}
+
+// branchPoint is the switch where a path's tail begins — the switch of its
+// last middlebox (also returned), or the gateway for middlebox-free paths.
+func branchPoint(rec *InstalledPath) (topo.NodeID, topo.MBInstanceID) {
+	r := rec.Route
+	for i := r.Len() - 1; i >= 0; i-- {
+		if r.MBAt[i] != NoMB {
+			return r.Switches[i], r.MBAt[i]
+		}
+	}
+	return r.Gateway(), NoMB
+}
+
+// descendRoute computes the canonical descend route from a switch to an
+// access switch (the same function location rules follow).
+func (c *Controller) descendRoute(from, access topo.NodeID) ([]topo.NodeID, error) {
+	parent := c.Installer.tree(c.gateway)
+	chain := c.T.AncestorChain(access, parent)
+	if chain == nil {
+		return nil, fmt.Errorf("core: no tree chain for access switch %d", access)
+	}
+	idx := make(map[topo.NodeID]int, len(chain))
+	for i, n := range chain {
+		idx[n] = i
+	}
+	route := []topo.NodeID{from}
+	u := from
+	for steps := 0; ; steps++ {
+		if steps > 2*len(c.T.Nodes) {
+			return nil, fmt.Errorf("core: descend route did not converge")
+		}
+		next, done := c.T.CanonicalDescend(u, chain, idx, parent)
+		if done {
+			return route, nil
+		}
+		if next == topo.None {
+			return nil, fmt.Errorf("core: no descend route from %d to %d", from, access)
+		}
+		route = append(route, next)
+		u = next
+	}
+}
+
+// ReleaseOldLocIP ends a handoff transition (the soft-timeout expiry): the
+// address's shortcuts come down and it returns to the allocation pool. The
+// shortcuts argument is accepted for symmetry with HandoffResult but the
+// controller's own reservation tracking is authoritative (shortcuts may
+// have been retargeted by later handoffs).
+func (c *Controller) ReleaseOldLocIP(oldLoc packet.Addr, shortcuts []*Shortcut) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rsv, ok := c.reservations[oldLoc]; ok {
+		for _, sc := range rsv.shortcuts {
+			c.Installer.RemoveShortcut(sc)
+		}
+		delete(c.reservations, oldLoc)
+	} else {
+		for _, sc := range shortcuts {
+			c.Installer.RemoveShortcut(sc)
+		}
+	}
+	if bs, id, ok := c.plan.Split(oldLoc); ok {
+		if imsi, held := c.byLoc[oldLoc]; !held || c.ues[imsi] == nil || c.ues[imsi].LocIP != oldLoc {
+			c.freeUEIDs[bs] = append(c.freeUEIDs[bs], id)
+			delete(c.byLoc, oldLoc)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package ctrlproto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// Client is an agent's connection to the central controller. It implements
+// agent.ControllerClient, so an agent is wired identically whether the
+// controller is in-process or across the network.
+type Client struct {
+	c *conn
+	// Reporter answers the controller's location queries during failover
+	// recovery (§5.2). Nil clients answer with an empty report.
+	Reporter func() core.AgentLocationReport
+}
+
+// NewClient wraps an established connection and starts its read loop.
+func NewClient(raw net.Conn) *Client {
+	cl := &Client{c: newConn(raw)}
+	go cl.c.readLoop(cl.handle)
+	return cl
+}
+
+// Dial connects to a controller server.
+func Dial(network, addr string) (*Client, error) {
+	raw, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(raw), nil
+}
+
+// Close tears the connection down.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// handle serves controller-initiated requests.
+func (cl *Client) handle(f frame) {
+	switch f.typ {
+	case MsgLocationQuery:
+		var rep core.AgentLocationReport
+		if cl.Reporter != nil {
+			rep = cl.Reporter()
+		}
+		_ = cl.c.respond(f.reqID, MsgLocationQuery, marshalJSON(rep))
+	default:
+		_ = cl.c.respondError(f.reqID, errUnexpected(f.typ))
+	}
+}
+
+type unexpectedError struct{ t MsgType }
+
+func (e unexpectedError) Error() string { return "unexpected request " + e.t.String() }
+
+func errUnexpected(t MsgType) error { return unexpectedError{t} }
+
+// Hello announces the agent's base station.
+func (cl *Client) Hello(bs packet.BSID) error {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, uint32(bs))
+	_, err := cl.c.request(MsgHello, b)
+	return err
+}
+
+// Echo round-trips a payload (latency probes).
+func (cl *Client) Echo(payload []byte) ([]byte, error) {
+	f, err := cl.c.request(MsgEcho, payload)
+	if err != nil {
+		return nil, err
+	}
+	return f.payload, nil
+}
+
+// ResolveLocIP implements agent.LocResolver over the wire, enabling §7
+// mobile-to-mobile paths for remote agents.
+func (cl *Client) ResolveLocIP(perm packet.Addr) (packet.Addr, error) {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, uint32(perm))
+	f, err := cl.c.request(MsgResolve, b)
+	if err != nil {
+		return 0, err
+	}
+	if len(f.payload) != 4 {
+		return 0, fmt.Errorf("ctrlproto: resolve reply %d bytes", len(f.payload))
+	}
+	return packet.Addr(binary.BigEndian.Uint32(f.payload)), nil
+}
+
+// RequestPath implements agent.ControllerClient over the wire.
+func (cl *Client) RequestPath(bs packet.BSID, clause int) (packet.Tag, error) {
+	f, err := cl.c.request(MsgPathRequest, PathRequest{BS: bs, Clause: uint32(clause)}.marshal())
+	if err != nil {
+		return 0, err
+	}
+	rep, err := parsePathReply(f.payload)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Tag, nil
+}
+
+// Attach admits a UE through the controller.
+func (cl *Client) Attach(imsi string, bs packet.BSID) (core.UE, []core.Classifier, error) {
+	f, err := cl.c.request(MsgAttach, marshalJSON(AttachRequest{IMSI: imsi, BS: bs}))
+	if err != nil {
+		return core.UE{}, nil, err
+	}
+	var rep AttachReply
+	if err := json.Unmarshal(f.payload, &rep); err != nil {
+		return core.UE{}, nil, err
+	}
+	return rep.UE, rep.Classifiers, nil
+}
+
+// Handoff moves a UE through the controller.
+func (cl *Client) Handoff(imsi string, newBS packet.BSID) (core.HandoffResult, error) {
+	f, err := cl.c.request(MsgHandoff, marshalJSON(HandoffRequest{IMSI: imsi, NewBS: newBS}))
+	if err != nil {
+		return core.HandoffResult{}, err
+	}
+	var res core.HandoffResult
+	if err := json.Unmarshal(f.payload, &res); err != nil {
+		return core.HandoffResult{}, err
+	}
+	return res, nil
+}

@@ -1,0 +1,302 @@
+// Package ctrlproto is SoftCell's control channel: the framed binary
+// protocol local agents use to talk to the central controller (packet
+// classifier fetches, policy-path requests, location queries during
+// failover recovery). It plays the role OpenFlow+Floodlight play in the
+// paper's prototype, reduced to the message set SoftCell actually needs.
+//
+// Framing: every message is
+//
+//	uint32  frame length (bytes after this field)
+//	uint8   message type
+//	uint8   flags (bit 0: response)
+//	uint32  request id (correlates responses; both sides may originate)
+//	payload
+//
+// The channel is symmetric: the controller can query agents (location
+// recovery, §5.2) over the same connection agents use for requests.
+package ctrlproto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// MsgType identifies a message.
+type MsgType uint8
+
+// Message types.
+const (
+	MsgHello MsgType = iota + 1
+	MsgEcho
+	MsgPathRequest
+	MsgAttach
+	MsgHandoff
+	MsgLocationQuery
+	MsgResolve
+	MsgError
+)
+
+func (m MsgType) String() string {
+	switch m {
+	case MsgHello:
+		return "hello"
+	case MsgEcho:
+		return "echo"
+	case MsgPathRequest:
+		return "path-request"
+	case MsgAttach:
+		return "attach"
+	case MsgHandoff:
+		return "handoff"
+	case MsgLocationQuery:
+		return "location-query"
+	case MsgResolve:
+		return "resolve"
+	case MsgError:
+		return "error"
+	default:
+		return fmt.Sprintf("msg(%d)", uint8(m))
+	}
+}
+
+const (
+	flagResponse = 1 << 0
+	headerBytes  = 10 // type(1) + flags(1) + reqID(4) after the length(4)
+	// MaxFrame bounds a frame so a corrupt peer cannot OOM us.
+	MaxFrame = 1 << 20
+)
+
+// frame is one decoded message.
+type frame struct {
+	typ     MsgType
+	resp    bool
+	reqID   uint32
+	payload []byte
+}
+
+// writeFrame serialises and writes one frame.
+func writeFrame(w io.Writer, f frame) error {
+	if len(f.payload) > MaxFrame-headerBytes+4 {
+		return fmt.Errorf("ctrlproto: payload %d bytes exceeds frame limit", len(f.payload))
+	}
+	buf := make([]byte, 4+6+len(f.payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(6+len(f.payload)))
+	buf[4] = uint8(f.typ)
+	if f.resp {
+		buf[5] = flagResponse
+	}
+	binary.BigEndian.PutUint32(buf[6:10], f.reqID)
+	copy(buf[10:], f.payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < 6 || n > MaxFrame {
+		return frame{}, fmt.Errorf("ctrlproto: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, err
+	}
+	return frame{
+		typ:     MsgType(body[0]),
+		resp:    body[1]&flagResponse != 0,
+		reqID:   binary.BigEndian.Uint32(body[2:6]),
+		payload: body[6:],
+	}, nil
+}
+
+// PathRequest is the hot-path message: 8 bytes, hand-packed.
+type PathRequest struct {
+	BS     packet.BSID
+	Clause uint32
+}
+
+func (p PathRequest) marshal() []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint32(b[0:4], uint32(p.BS))
+	binary.BigEndian.PutUint32(b[4:8], p.Clause)
+	return b
+}
+
+func parsePathRequest(b []byte) (PathRequest, error) {
+	if len(b) != 8 {
+		return PathRequest{}, fmt.Errorf("ctrlproto: path request payload %d bytes", len(b))
+	}
+	return PathRequest{
+		BS:     packet.BSID(binary.BigEndian.Uint32(b[0:4])),
+		Clause: binary.BigEndian.Uint32(b[4:8]),
+	}, nil
+}
+
+// PathReply carries the tag, 4 bytes.
+type PathReply struct{ Tag packet.Tag }
+
+func (p PathReply) marshal() []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, uint32(p.Tag))
+	return b
+}
+
+func parsePathReply(b []byte) (PathReply, error) {
+	if len(b) != 4 {
+		return PathReply{}, fmt.Errorf("ctrlproto: path reply payload %d bytes", len(b))
+	}
+	return PathReply{Tag: packet.Tag(binary.BigEndian.Uint32(b))}, nil
+}
+
+// AttachRequest admits a UE (JSON payload: cold path).
+type AttachRequest struct {
+	IMSI string      `json:"imsi"`
+	BS   packet.BSID `json:"bs"`
+}
+
+// AttachReply returns the UE record and its classifiers.
+type AttachReply struct {
+	UE          core.UE           `json:"ue"`
+	Classifiers []core.Classifier `json:"classifiers"`
+}
+
+// HandoffRequest moves a UE.
+type HandoffRequest struct {
+	IMSI  string      `json:"imsi"`
+	NewBS packet.BSID `json:"newBS"`
+}
+
+// conn is the symmetric framed connection with request correlation.
+type conn struct {
+	raw net.Conn
+
+	writeMu sync.Mutex
+	nextID  uint32
+
+	mu      sync.Mutex
+	pending map[uint32]chan frame
+	closed  bool
+	err     error
+}
+
+func newConn(raw net.Conn) *conn {
+	return &conn{raw: raw, pending: make(map[uint32]chan frame)}
+}
+
+func (c *conn) send(f frame) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return writeFrame(c.raw, f)
+}
+
+// request issues a request and blocks for its response.
+func (c *conn) request(typ MsgType, payload []byte) (frame, error) {
+	id := atomic.AddUint32(&c.nextID, 1)
+	ch := make(chan frame, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("ctrlproto: connection closed")
+		}
+		return frame{}, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+	if err := c.send(frame{typ: typ, reqID: id, payload: payload}); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return frame{}, err
+	}
+	f, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("ctrlproto: connection closed")
+		}
+		return frame{}, err
+	}
+	if f.typ == MsgError {
+		return frame{}, fmt.Errorf("ctrlproto: remote error: %s", f.payload)
+	}
+	return f, nil
+}
+
+// respond sends a response frame for reqID.
+func (c *conn) respond(reqID uint32, typ MsgType, payload []byte) error {
+	return c.send(frame{typ: typ, resp: true, reqID: reqID, payload: payload})
+}
+
+func (c *conn) respondError(reqID uint32, err error) error {
+	return c.respond(reqID, MsgError, []byte(err.Error()))
+}
+
+// readLoop dispatches incoming frames: responses to waiters, requests to
+// handle. It runs until the connection dies.
+func (c *conn) readLoop(handle func(frame)) {
+	for {
+		f, err := readFrame(c.raw)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if f.resp {
+			c.mu.Lock()
+			ch, ok := c.pending[f.reqID]
+			if ok {
+				delete(c.pending, f.reqID)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- f
+			}
+			continue
+		}
+		handle(f)
+	}
+}
+
+func (c *conn) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.err = err
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	_ = c.raw.Close()
+}
+
+func (c *conn) Close() error {
+	c.fail(errors.New("ctrlproto: closed"))
+	return nil
+}
+
+func marshalJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("ctrlproto: marshal %T: %v", v, err)) // static types: cannot fail
+	}
+	return b
+}

@@ -1,0 +1,189 @@
+package ctrlproto
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// Server exposes a core.Controller over the control channel. One goroutine
+// pool per connection bounds concurrent request handling, mirroring the
+// worker-thread dimension of the paper's Cbench experiment.
+type Server struct {
+	Ctrl *core.Controller
+	// Workers bounds concurrently handled requests per connection
+	// (default 8).
+	Workers int
+
+	mu    sync.Mutex
+	conns map[*conn]packet.BSID // hello-declared base station
+	ln    net.Listener
+	wg    sync.WaitGroup
+
+	// Requests counts path requests served (all connections).
+	Requests uint64
+}
+
+// NewServer wraps a controller.
+func NewServer(ctrl *core.Controller) *Server {
+	return &Server{Ctrl: ctrl, Workers: 8, conns: make(map[*conn]packet.BSID)}
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(raw)
+		}()
+	}
+}
+
+// ServeConn handles a single pre-established connection (tests and
+// in-process benches use net.Pipe).
+func (s *Server) ServeConn(raw net.Conn) {
+	s.serveConn(raw)
+}
+
+func (s *Server) serveConn(raw net.Conn) {
+	c := newConn(raw)
+	s.mu.Lock()
+	s.conns[c] = 0
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		_ = c.Close()
+	}()
+
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	c.readLoop(func(f frame) {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			s.handle(c, f)
+		}()
+	})
+	wg.Wait()
+}
+
+func (s *Server) handle(c *conn, f frame) {
+	switch f.typ {
+	case MsgHello:
+		if len(f.payload) == 4 {
+			bs := packet.BSID(uint32(f.payload[0])<<24 | uint32(f.payload[1])<<16 |
+				uint32(f.payload[2])<<8 | uint32(f.payload[3]))
+			s.mu.Lock()
+			s.conns[c] = bs
+			s.mu.Unlock()
+		}
+		_ = c.respond(f.reqID, MsgHello, nil)
+	case MsgEcho:
+		_ = c.respond(f.reqID, MsgEcho, f.payload)
+	case MsgResolve:
+		if len(f.payload) != 4 {
+			_ = c.respondError(f.reqID, fmt.Errorf("resolve payload %d bytes", len(f.payload)))
+			return
+		}
+		perm := packet.Addr(uint32(f.payload[0])<<24 | uint32(f.payload[1])<<16 |
+			uint32(f.payload[2])<<8 | uint32(f.payload[3]))
+		loc, err := s.Ctrl.ResolveLocIP(perm)
+		if err != nil {
+			_ = c.respondError(f.reqID, err)
+			return
+		}
+		b := make([]byte, 4)
+		b[0], b[1], b[2], b[3] = byte(loc>>24), byte(loc>>16), byte(loc>>8), byte(loc)
+		_ = c.respond(f.reqID, MsgResolve, b)
+	case MsgPathRequest:
+		req, err := parsePathRequest(f.payload)
+		if err != nil {
+			_ = c.respondError(f.reqID, err)
+			return
+		}
+		tag, err := s.Ctrl.RequestPath(req.BS, int(req.Clause))
+		if err != nil {
+			_ = c.respondError(f.reqID, err)
+			return
+		}
+		atomic.AddUint64(&s.Requests, 1)
+		_ = c.respond(f.reqID, MsgPathRequest, PathReply{Tag: tag}.marshal())
+	case MsgAttach:
+		var req AttachRequest
+		if err := json.Unmarshal(f.payload, &req); err != nil {
+			_ = c.respondError(f.reqID, err)
+			return
+		}
+		ue, cls, err := s.Ctrl.Attach(req.IMSI, req.BS)
+		if err != nil {
+			_ = c.respondError(f.reqID, err)
+			return
+		}
+		_ = c.respond(f.reqID, MsgAttach, marshalJSON(AttachReply{UE: ue, Classifiers: cls}))
+	case MsgHandoff:
+		var req HandoffRequest
+		if err := json.Unmarshal(f.payload, &req); err != nil {
+			_ = c.respondError(f.reqID, err)
+			return
+		}
+		res, err := s.Ctrl.Handoff(req.IMSI, req.NewBS)
+		if err != nil {
+			_ = c.respondError(f.reqID, err)
+			return
+		}
+		_ = c.respond(f.reqID, MsgHandoff, marshalJSON(res))
+	default:
+		_ = c.respondError(f.reqID, fmt.Errorf("unknown message type %s", f.typ))
+	}
+}
+
+// QueryLocations asks every connected agent for its location report and
+// feeds the answers to the controller's recovery (§5.2). It returns the
+// number of agents that answered.
+func (s *Server) QueryLocations() (int, error) {
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var reports []core.AgentLocationReport
+	answered := 0
+	for _, c := range conns {
+		f, err := c.request(MsgLocationQuery, nil)
+		if err != nil {
+			continue // dead agents are skipped; their UEs re-attach later
+		}
+		var rep core.AgentLocationReport
+		if err := json.Unmarshal(f.payload, &rep); err != nil {
+			continue
+		}
+		reports = append(reports, rep)
+		answered++
+	}
+	if err := s.Ctrl.RecoverLocations(reports); err != nil {
+		return answered, err
+	}
+	return answered, nil
+}

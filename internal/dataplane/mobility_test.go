@@ -1,0 +1,243 @@
+package dataplane
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/policy"
+)
+
+// openFlow establishes a bidirectional connection and returns the upstream
+// template packet (post-send header state for building replies).
+func openFlow(t *testing.T, net *Network, bs packet.BSID, ue core.UE, sport uint16) *packet.Packet {
+	t.Helper()
+	up := webPacket(ue, sport)
+	res, err := net.SendUpstream(bs, up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disposition != ExitedNet {
+		t.Fatalf("flow open failed: %s at %d", res.Disposition, res.Last)
+	}
+	return up
+}
+
+func reply(up *packet.Packet, payload int) *packet.Packet {
+	return &packet.Packet{
+		Src: up.Dst, Dst: up.Src, SrcPort: up.DstPort, DstPort: up.SrcPort,
+		Proto: up.Proto, TTL: 64, Payload: make([]byte, payload),
+	}
+}
+
+func TestHandoffPolicyConsistency(t *testing.T) {
+	net, _ := newNet(t, packet.Prefix{})
+	_ = net.Ctrl.RegisterSubscriber("m", policy.Attributes{Provider: "A"})
+	ue, err := net.Attach("m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := openFlow(t, net, 0, ue, 40000)
+
+	// Which firewall instance owns the connection pre-handoff?
+	var preConns uint64
+	for _, b := range net.Boxes {
+		if b.Func() == "firewall" {
+			preConns = b.Stats().Connections
+		}
+	}
+	if preConns != 1 {
+		t.Fatalf("firewall connections = %d", preConns)
+	}
+
+	res, err := net.Handoff("m", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newUE := res.UE
+
+	// OLD flow, downstream: the Internet still addresses the old LocIP; the
+	// packet must traverse the same firewall and reach the UE at station 3.
+	d := reply(up, 10)
+	dres, err := net.SendDownstream(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Disposition != Delivered {
+		t.Fatalf("old flow downstream: %s at %d (hops %v)", dres.Disposition, dres.Last, dres.Hops)
+	}
+	st3, _ := net.T.Station(3)
+	if dres.Last != st3.Access {
+		t.Fatalf("old flow delivered at %d, want new station %d", dres.Last, st3.Access)
+	}
+	if d.Dst != ue.PermIP || d.DstPort != 40000 {
+		t.Fatalf("old flow restore failed: %s", d.Flow())
+	}
+
+	// OLD flow, upstream from the NEW station: keeps old LocIP + tag, so it
+	// rejoins the old path (triangle/shortcut) and the same firewall sees it.
+	u2 := webPacket(ue, 40000) // same five-tuple as the established flow
+	ures, err := net.SendUpstream(3, u2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ures.Disposition != ExitedNet {
+		t.Fatalf("old flow upstream after handoff: %s at %d (hops %v)", ures.Disposition, ures.Last, ures.Hops)
+	}
+	if u2.Src != res.OldLocIP {
+		t.Fatalf("old flow should keep the old LocIP: %s vs %s", u2.Src, res.OldLocIP)
+	}
+
+	// No middlebox ever saw mid-connection traffic it had no state for.
+	if v, _ := net.MiddleboxStats(); v != 0 {
+		t.Fatalf("policy consistency violations: %d", v)
+	}
+
+	// NEW flow after handoff uses the new LocIP and the new station's path.
+	n2 := webPacket(newUE, 41000)
+	nres, err := net.SendUpstream(3, n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nres.Disposition != ExitedNet {
+		t.Fatalf("new flow: %s", nres.Disposition)
+	}
+	if n2.Src != newUE.LocIP {
+		t.Fatalf("new flow src = %s, want new LocIP %s", n2.Src, newUE.LocIP)
+	}
+
+	// After the soft timeout the shortcuts disappear; new flows unaffected.
+	net.Ctrl.ReleaseOldLocIP(res.OldLocIP, res.Shortcuts)
+	if err := net.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if res2, err := net.SendUpstream(3, webPacket(newUE, 41001)); err != nil || res2.Disposition != ExitedNet {
+		t.Fatalf("post-release new flow: %v %v", res2.Disposition, err)
+	}
+}
+
+func TestHandoffChainMove(t *testing.T) {
+	// Move a silver-plan video subscriber between stations served by
+	// different transcoder instances: old flows must keep the OLD
+	// transcoder instance (it holds codec state), new flows may use the new
+	// one.
+	net, _ := newNet(t, packet.Prefix{})
+	_ = net.Ctrl.RegisterSubscriber("v", policy.Attributes{Provider: "A", Plan: "silver"})
+	ue, _ := net.Attach("v", 0)
+	video := &packet.Packet{
+		Src: ue.PermIP, Dst: packet.AddrFrom4(203, 0, 113, 9),
+		SrcPort: 41000, DstPort: 554, Proto: packet.ProtoTCP, TTL: 64,
+	}
+	if res, err := net.SendUpstream(0, video); err != nil || res.Disposition != ExitedNet {
+		t.Fatalf("open: %v %v", res.Disposition, err)
+	}
+
+	res, err := net.Handoff("v", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Old flow downstream media still transcodes with zero violations.
+	d := reply(video, 1000)
+	dres, err := net.SendDownstream(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Disposition != Delivered {
+		t.Fatalf("old video downstream: %s at %d", dres.Disposition, dres.Last)
+	}
+	if len(d.Payload) != 500 {
+		t.Fatalf("payload = %d; transcoder state lost", len(d.Payload))
+	}
+	if v, _ := net.MiddleboxStats(); v != 0 {
+		t.Fatalf("violations = %d", v)
+	}
+
+	// New video flow from the new station uses the nearer transcoder.
+	nv := &packet.Packet{
+		Src: res.UE.PermIP, Dst: packet.AddrFrom4(203, 0, 113, 9),
+		SrcPort: 41500, DstPort: 554, Proto: packet.ProtoTCP, TTL: 64,
+	}
+	nres, err := net.SendUpstream(3, nv)
+	if err != nil || nres.Disposition != ExitedNet {
+		t.Fatalf("new video flow: %v %v", nres.Disposition, err)
+	}
+}
+
+// Property-style test (DESIGN.md §6): random attach/flow/handoff schedules
+// never produce a policy-consistency violation, and every established flow
+// keeps working bidirectionally after every move.
+func TestRandomHandoffScheduleConsistency(t *testing.T) {
+	net, _ := newNet(t, packet.Prefix{})
+	rng := rand.New(rand.NewSource(7))
+	type conn struct {
+		ue    string
+		up    *packet.Packet
+		sport uint16
+	}
+	ues := []string{"u0", "u1", "u2"}
+	at := map[string]packet.BSID{}
+	var conns []conn
+	sport := uint16(40000)
+	for _, u := range ues {
+		_ = net.Ctrl.RegisterSubscriber(u, policy.Attributes{Provider: "A"})
+		bs := packet.BSID(rng.Intn(4))
+		if _, err := net.Attach(u, bs); err != nil {
+			t.Fatal(err)
+		}
+		at[u] = bs
+	}
+	for step := 0; step < 30; step++ {
+		u := ues[rng.Intn(len(ues))]
+		switch rng.Intn(3) {
+		case 0: // open a new flow
+			ue, _ := net.Ctrl.LookupUE(u)
+			sport++
+			p := webPacket(ue, sport)
+			res, err := net.SendUpstream(at[u], p)
+			if err != nil {
+				t.Fatalf("step %d open: %v", step, err)
+			}
+			if res.Disposition != ExitedNet {
+				t.Fatalf("step %d open: %s at %d", step, res.Disposition, res.Last)
+			}
+			conns = append(conns, conn{ue: u, up: p, sport: sport})
+		case 1: // handoff
+			nb := packet.BSID(rng.Intn(4))
+			if nb == at[u] {
+				continue
+			}
+			if _, err := net.Handoff(u, nb); err != nil {
+				t.Fatalf("step %d handoff: %v", step, err)
+			}
+			at[u] = nb
+		case 2: // exercise an existing connection both ways
+			if len(conns) == 0 {
+				continue
+			}
+			c := conns[rng.Intn(len(conns))]
+			d := reply(c.up, 8)
+			res, err := net.SendDownstream(d)
+			if err != nil {
+				t.Fatalf("step %d downstream: %v", step, err)
+			}
+			if res.Disposition != Delivered {
+				t.Fatalf("step %d downstream: %s at %d", step, res.Disposition, res.Last)
+			}
+			ue, _ := net.Ctrl.LookupUE(c.ue)
+			u2 := &packet.Packet{Src: ue.PermIP, Dst: c.up.Dst,
+				SrcPort: c.sport, DstPort: 80, Proto: packet.ProtoTCP, TTL: 64}
+			ur, err := net.SendUpstream(at[c.ue], u2)
+			if err != nil {
+				t.Fatalf("step %d upstream: %v", step, err)
+			}
+			if ur.Disposition != ExitedNet {
+				t.Fatalf("step %d upstream: %s at %d", step, ur.Disposition, ur.Last)
+			}
+		}
+	}
+	if v, _ := net.MiddleboxStats(); v != 0 {
+		t.Fatalf("violations after random schedule: %d", v)
+	}
+}

@@ -1,0 +1,85 @@
+package dataplane
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/policy"
+)
+
+// TestQoSLowLatencyForM2M reproduces Table 1's fifth clause: M2M
+// fleet-tracking traffic is "forwarded with high priority to ensure low
+// latency". Under congestion, the tracking flow's modelled latency must
+// beat a best-effort web flow over the same network.
+func TestQoSLowLatencyForM2M(t *testing.T) {
+	net, _ := newNet(t, packet.Prefix{})
+	net.Congestion = 5
+
+	_ = net.Ctrl.RegisterSubscriber("fleet", policy.Attributes{Provider: "A", DeviceType: "m2m-fleet"})
+	_ = net.Ctrl.RegisterSubscriber("phone", policy.Attributes{Provider: "A"})
+	fleet, _ := net.Attach("fleet", 0)
+	phone, _ := net.Attach("phone", 0)
+
+	tracking := &packet.Packet{
+		Src: fleet.PermIP, Dst: packet.AddrFrom4(203, 0, 113, 77),
+		SrcPort: 47000, DstPort: 5684, Proto: packet.ProtoUDP, TTL: 64,
+	}
+	tres, err := net.SendUpstream(0, tracking)
+	if err != nil || tres.Disposition != ExitedNet {
+		t.Fatalf("tracking: %v %v", tres.Disposition, err)
+	}
+	if tracking.DSCP == 0 {
+		t.Fatal("tracking flow not QoS-marked")
+	}
+
+	web := webPacket(phone, 47001)
+	wres, err := net.SendUpstream(0, web)
+	if err != nil || wres.Disposition != ExitedNet {
+		t.Fatalf("web: %v %v", wres.Disposition, err)
+	}
+	if web.DSCP != 0 {
+		t.Fatalf("web flow should be best effort, got DSCP %d", web.DSCP)
+	}
+
+	// Same path length (both station 0 through the firewall to the
+	// gateway), so the latency difference is pure queueing priority.
+	if !(tres.Latency < wres.Latency) {
+		t.Fatalf("tracking latency %v should beat web %v under congestion",
+			tres.Latency, wres.Latency)
+	}
+}
+
+// TestQoSIdleNetworkNoQueueing: without congestion the latency model
+// reduces to propagation + middlebox processing.
+func TestQoSIdleNetworkNoQueueing(t *testing.T) {
+	net, _ := newNet(t, packet.Prefix{})
+	_ = net.Ctrl.RegisterSubscriber("a", policy.Attributes{Provider: "A"})
+	ue, _ := net.Attach("a", 0)
+	p := webPacket(ue, 40000)
+	res, err := net.SendUpstream(0, p)
+	if err != nil || res.Disposition != ExitedNet {
+		t.Fatalf("flow: %v %v", res.Disposition, err)
+	}
+	// Path: as0->cs2->cs1(fw)->gw = 3 network hops + 1 middlebox.
+	want := 3*hopPropagation + mbProcessing
+	if res.Latency != want {
+		t.Fatalf("idle latency = %v, want %v", res.Latency, want)
+	}
+}
+
+// TestQoSVoiceMarking: VoIP flows get the EF class.
+func TestQoSVoiceMarking(t *testing.T) {
+	net, _ := newNet(t, packet.Prefix{})
+	_ = net.Ctrl.RegisterSubscriber("a", policy.Attributes{Provider: "A"})
+	ue, _ := net.Attach("a", 1)
+	voip := &packet.Packet{
+		Src: ue.PermIP, Dst: packet.AddrFrom4(203, 0, 113, 50),
+		SrcPort: 42000, DstPort: 5060, Proto: packet.ProtoUDP, TTL: 64,
+	}
+	if res, err := net.SendUpstream(1, voip); err != nil || res.Disposition != ExitedNet {
+		t.Fatalf("voip: %v %v", res.Disposition, err)
+	}
+	if voip.DSCP != 46 {
+		t.Fatalf("voip DSCP = %d, want 46 (EF)", voip.DSCP)
+	}
+}

@@ -1,0 +1,209 @@
+package dataplane
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/policy"
+)
+
+// TestMobileToMobileDirectPath reproduces §7 "Mobile-to-mobile traffic":
+// two UEs in the same core talk over a direct location-routed path that
+// never detours through the gateway (unlike today's P-GW hairpin).
+func TestMobileToMobileDirectPath(t *testing.T) {
+	net, topo := newNet(t, packet.Prefix{})
+	_ = net.Ctrl.RegisterSubscriber("a", policy.Attributes{Provider: "A"})
+	_ = net.Ctrl.RegisterSubscriber("b", policy.Attributes{Provider: "A"})
+	ueA, err := net.Attach("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ueB, err := net.Attach("b", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A addresses B by its stable permanent IP.
+	p := &packet.Packet{
+		Src: ueA.PermIP, Dst: ueB.PermIP,
+		SrcPort: 50000, DstPort: 7000, Proto: packet.ProtoUDP, TTL: 64,
+	}
+	res, err := net.SendUpstream(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disposition != Delivered {
+		t.Fatalf("m2m: %s at %d (hops %v)", res.Disposition, res.Last, res.Hops)
+	}
+	if p.Dst != ueB.PermIP {
+		t.Fatalf("delivered dst = %s, want B's permanent IP", p.Dst)
+	}
+	// The gateway must NOT appear on the path (§7: "without detouring via a
+	// gateway switch").
+	for _, h := range res.Hops {
+		if h.Node == topo.gw {
+			t.Fatalf("m2m path detoured via the gateway: %v", res.Hops)
+		}
+	}
+	st3, _ := net.T.Station(3)
+	if res.Last != st3.Access {
+		t.Fatalf("delivered at %d, want station 3 (%d)", res.Last, st3.Access)
+	}
+
+	// B replies; the reverse microflows route it straight back.
+	reply := &packet.Packet{
+		Src: ueB.PermIP, Dst: ueA.PermIP,
+		SrcPort: 7000, DstPort: 50000, Proto: packet.ProtoUDP, TTL: 64,
+	}
+	rres, err := net.SendUpstream(3, reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Disposition != Delivered || reply.Dst != ueA.PermIP {
+		t.Fatalf("m2m reply: %s, dst %s", rres.Disposition, reply.Dst)
+	}
+	for _, h := range rres.Hops {
+		if h.Node == topo.gw {
+			t.Fatalf("reply detoured via the gateway: %v", rres.Hops)
+		}
+	}
+}
+
+// TestPublicIPInbound reproduces §7 "Traffic initiated from the Internet":
+// a UE exposed on a public address receives an Internet-initiated
+// connection; the gateway's single coarse classifier translates to
+// (LocIP, tag) and ordinary forwarding — including the clause's middlebox
+// chain — applies.
+func TestPublicIPInbound(t *testing.T) {
+	net, _ := newNet(t, packet.Prefix{})
+	_ = net.Ctrl.RegisterSubscriber("srv", policy.Attributes{Provider: "A"})
+	ue, err := net.Attach("srv", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	public := packet.AddrFrom4(192, 0, 2, 80)
+	// A server binding implies an inbound-permissive clause: stateful
+	// firewalls drop unsolicited inbound, so the operator provisions a
+	// chain-free (or inbound-aware) clause for exposed services.
+	clause := net.Ctrl.Policy.Add(policy.Clause{
+		Priority: 90, Name: "exposed-server",
+		Pred:   policy.Attr(policy.FieldProvider, "A"),
+		Action: policy.Via(),
+	})
+	if err := net.BindPublicIP("srv", public, clause); err != nil {
+		t.Fatal(err)
+	}
+	// An Internet client connects to the public address on port 80 (must
+	// fit the plan's ephemeral field).
+	p := &packet.Packet{
+		Src: packet.AddrFrom4(198, 18, 5, 5), Dst: public,
+		SrcPort: 31000, DstPort: 80, Proto: packet.ProtoTCP, TTL: 64,
+	}
+	res, err := net.SendDownstream(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disposition != Delivered {
+		t.Fatalf("inbound: %s at %d (hops %v)", res.Disposition, res.Last, res.Hops)
+	}
+	if p.Dst != ue.PermIP || p.DstPort != 80 {
+		t.Fatalf("inbound restore: %s", p.Flow())
+	}
+	// The clause's firewall is on the inbound path... but stateful
+	// firewalls drop unsolicited inbound; a server binding implies a
+	// permissive clause in deployment. Here we assert the traversal
+	// happened at all by checking the UE's REPLY retraces the tagged path
+	// and exits.
+	reply := &packet.Packet{
+		Src: ue.PermIP, Dst: packet.AddrFrom4(198, 18, 5, 5),
+		SrcPort: 80, DstPort: 31000, Proto: packet.ProtoTCP, TTL: 64,
+	}
+	rres, err := net.SendUpstream(2, reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Disposition != ExitedNet {
+		t.Fatalf("reply: %s at %d", rres.Disposition, rres.Last)
+	}
+	// The reply leaves carrying the UE's LocIP and the binding's tag, so
+	// the Internet peer sees a consistent 5-tuple.
+	if rres.Packet.Src != ue.LocIP {
+		t.Fatalf("reply src = %s, want LocIP", rres.Packet.Src)
+	}
+	tag, svc := net.Ctrl.Plan().SplitPort(rres.Packet.SrcPort)
+	if tag == 0 || svc != 80 {
+		t.Fatalf("reply port = %d (tag %d, svc %d)", rres.Packet.SrcPort, tag, svc)
+	}
+}
+
+// TestPublicIPBindingValidation covers the §7 binding's error paths.
+func TestPublicIPBindingValidation(t *testing.T) {
+	net, _ := newNet(t, packet.Prefix{})
+	if err := net.BindPublicIP("ghost", packet.AddrFrom4(192, 0, 2, 1), 0); err == nil {
+		t.Error("unattached UE should fail")
+	}
+	_ = net.Ctrl.RegisterSubscriber("a", policy.Attributes{Provider: "A"})
+	ue, _ := net.Attach("a", 0)
+	if err := net.BindPublicIP("a", ue.LocIP, 0); err == nil {
+		t.Error("carrier-internal address should be rejected")
+	}
+	if err := net.BindPublicIP("a", ue.PermIP, 0); err == nil {
+		t.Error("permanent-pool address should be rejected")
+	}
+}
+
+// TestM2MDeniedByPolicy: the classifier still gates M2M traffic.
+func TestM2MDeniedByPolicy(t *testing.T) {
+	net, _ := newNet(t, packet.Prefix{})
+	_ = net.Ctrl.RegisterSubscriber("c", policy.Attributes{Provider: "C"}) // denied carrier
+	_ = net.Ctrl.RegisterSubscriber("b", policy.Attributes{Provider: "A"})
+	ueC, _ := net.Attach("c", 0)
+	ueB, _ := net.Attach("b", 1)
+	p := &packet.Packet{Src: ueC.PermIP, Dst: ueB.PermIP,
+		SrcPort: 50000, DstPort: 7000, Proto: packet.ProtoUDP, TTL: 64}
+	res, err := net.SendUpstream(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disposition != DroppedAt {
+		t.Fatalf("foreign M2M should drop, got %s", res.Disposition)
+	}
+}
+
+// TestMobileToMobileByLocIP: M2M also works when the sender addresses the
+// peer's current LocIP directly (carrier-internal destination).
+func TestMobileToMobileByLocIP(t *testing.T) {
+	net, _ := newNet(t, packet.Prefix{})
+	_ = net.Ctrl.RegisterSubscriber("a", policy.Attributes{Provider: "A"})
+	_ = net.Ctrl.RegisterSubscriber("b", policy.Attributes{Provider: "A"})
+	ueA, _ := net.Attach("a", 1)
+	ueB, _ := net.Attach("b", 2)
+	p := &packet.Packet{
+		Src: ueA.PermIP, Dst: ueB.LocIP,
+		SrcPort: 51000, DstPort: 7000, Proto: packet.ProtoUDP, TTL: 64,
+	}
+	res, err := net.SendUpstream(1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disposition != Delivered || p.Dst != ueB.PermIP {
+		t.Fatalf("LocIP-addressed m2m: %s, dst %s", res.Disposition, p.Dst)
+	}
+}
+
+// TestArrivalRefusesUnknownLoc: a punted arrival for a LocIP nobody holds
+// is an error, not a silent drop (it indicates stale routing state).
+func TestArrivalRefusesUnknownLoc(t *testing.T) {
+	net, _ := newNet(t, packet.Prefix{})
+	_ = net.Ctrl.RegisterSubscriber("a", policy.Attributes{Provider: "A"})
+	ue, _ := net.Attach("a", 0)
+	if err := net.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := net.Ctrl.Plan().LocIP(ue.BS, ue.UEID+1) // unallocated
+	p := &packet.Packet{Src: packet.AddrFrom4(198, 18, 1, 1), Dst: other,
+		SrcPort: 9, DstPort: 9, Proto: packet.ProtoUDP, TTL: 64}
+	if _, err := net.SendDownstream(p); err == nil {
+		t.Fatal("arrival for unallocated LocIP should surface an error")
+	}
+}

@@ -1,0 +1,137 @@
+package packet
+
+import "fmt"
+
+// BSID numbers a base station within the carrier's address plan.
+type BSID uint32
+
+// UEID numbers a UE locally within one base station (paper: "local UE
+// identifier"; it has meaning only together with the base-station prefix).
+type UEID uint32
+
+// Plan is the carrier's address and port layout for SoftCell's
+// state-embedding (§4.1, Fig. 4). A location-dependent IP address (LocIP) is
+//
+//	[ carrier prefix | base-station ID | UE ID ]
+//
+// and an upstream packet's source port is
+//
+//	[ policy tag | ephemeral bits ]
+//
+// so the classification outcome rides along in the header and return traffic
+// from the Internet is implicitly pre-classified.
+type Plan struct {
+	Carrier Prefix // the carrier's public block, e.g. 10.0.0.0/8
+	BSBits  int    // width of the base-station ID field
+	UEBits  int    // width of the local UE ID field
+	TagBits int    // high bits of the port carrying the policy tag
+}
+
+// DefaultPlan is a comfortable layout: a /8 carrier block, 12 bits of base
+// station (4096 stations), 12 bits of UE (4096 per station), and 6 bits of
+// policy tag (63 usable tags in flight per UE port-space; the paper's core
+// needs far fewer distinct tags than that per UE).
+var DefaultPlan = Plan{
+	Carrier: Prefix{Addr: AddrFrom4(10, 0, 0, 0), Len: 8},
+	BSBits:  12,
+	UEBits:  12,
+	TagBits: 6,
+}
+
+// Validate checks the plan's field widths are coherent.
+func (pl Plan) Validate() error {
+	if pl.Carrier.Len < 0 || pl.Carrier.Len > 30 {
+		return fmt.Errorf("packet: carrier prefix length %d out of range", pl.Carrier.Len)
+	}
+	if pl.BSBits < 1 || pl.UEBits < 1 {
+		return fmt.Errorf("packet: BSBits=%d UEBits=%d must be positive", pl.BSBits, pl.UEBits)
+	}
+	if pl.Carrier.Len+pl.BSBits+pl.UEBits != 32 {
+		return fmt.Errorf("packet: carrier(%d)+BS(%d)+UE(%d) bits != 32",
+			pl.Carrier.Len, pl.BSBits, pl.UEBits)
+	}
+	if pl.TagBits < 1 || pl.TagBits > 12 {
+		return fmt.Errorf("packet: TagBits=%d out of range [1,12]", pl.TagBits)
+	}
+	if pl.Carrier.Addr != pl.Carrier.Addr&lenMask(pl.Carrier.Len) {
+		return fmt.Errorf("packet: carrier prefix %s has host bits set", pl.Carrier)
+	}
+	return nil
+}
+
+// MaxBS is the largest encodable base-station ID.
+func (pl Plan) MaxBS() BSID { return BSID(1)<<pl.BSBits - 1 }
+
+// MaxUE is the largest encodable local UE ID. UE ID 0 is reserved so a
+// base-station prefix is never also a LocIP.
+func (pl Plan) MaxUE() UEID { return UEID(1)<<pl.UEBits - 1 }
+
+// MaxTag is the largest encodable policy tag.
+func (pl Plan) MaxTag() Tag { return Tag(1)<<pl.TagBits - 1 }
+
+// EphemeralBits is the width of the port's local-ephemeral field.
+func (pl Plan) EphemeralBits() int { return 16 - pl.TagBits }
+
+// BSPrefix returns the base station's CIDR block inside the carrier space.
+func (pl Plan) BSPrefix(bs BSID) (Prefix, error) {
+	if bs > pl.MaxBS() {
+		return Prefix{}, fmt.Errorf("packet: base station id %d exceeds plan max %d", bs, pl.MaxBS())
+	}
+	addr := pl.Carrier.Addr | Addr(uint32(bs)<<pl.UEBits)
+	return Prefix{Addr: addr, Len: pl.Carrier.Len + pl.BSBits}, nil
+}
+
+// LocIP encodes the location-dependent address of UE ue at base station bs.
+func (pl Plan) LocIP(bs BSID, ue UEID) (Addr, error) {
+	p, err := pl.BSPrefix(bs)
+	if err != nil {
+		return 0, err
+	}
+	if ue == 0 || ue > pl.MaxUE() {
+		return 0, fmt.Errorf("packet: UE id %d out of range [1,%d]", ue, pl.MaxUE())
+	}
+	return p.Addr | Addr(ue), nil
+}
+
+// Split decomposes a LocIP back into its base-station and UE fields.
+// ok is false when the address is outside the carrier block.
+func (pl Plan) Split(a Addr) (bs BSID, ue UEID, ok bool) {
+	if !pl.Carrier.Contains(a) {
+		return 0, 0, false
+	}
+	rest := uint32(a) &^ uint32(lenMask(pl.Carrier.Len))
+	ue = UEID(rest & (1<<pl.UEBits - 1))
+	bs = BSID(rest >> pl.UEBits)
+	return bs, ue, true
+}
+
+// EmbedPort packs a policy tag and an ephemeral port index into one port
+// number. The ephemeral index must fit in the plan's low bits.
+func (pl Plan) EmbedPort(tag Tag, eph uint16) (uint16, error) {
+	if tag > pl.MaxTag() {
+		return 0, fmt.Errorf("packet: tag %d exceeds plan max %d", tag, pl.MaxTag())
+	}
+	if int(eph) >= 1<<pl.EphemeralBits() {
+		return 0, fmt.Errorf("packet: ephemeral index %d exceeds %d bits", eph, pl.EphemeralBits())
+	}
+	return uint16(tag)<<pl.EphemeralBits() | eph, nil
+}
+
+// SplitPort unpacks a port produced by EmbedPort.
+func (pl Plan) SplitPort(port uint16) (Tag, uint16) {
+	eb := pl.EphemeralBits()
+	return Tag(port >> eb), port & (1<<eb - 1)
+}
+
+// TagPortRange returns the contiguous port range [lo, hi] whose high bits
+// equal tag. Gateway and core switches match return traffic with a single
+// range (or masked) rule over this span rather than one rule per port.
+func (pl Plan) TagPortRange(tag Tag) (lo, hi uint16, err error) {
+	if tag > pl.MaxTag() {
+		return 0, 0, fmt.Errorf("packet: tag %d exceeds plan max %d", tag, pl.MaxTag())
+	}
+	eb := pl.EphemeralBits()
+	lo = uint16(tag) << eb
+	hi = lo | (1<<eb - 1)
+	return lo, hi, nil
+}

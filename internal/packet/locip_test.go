@@ -1,0 +1,179 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultPlanValid(t *testing.T) {
+	if err := DefaultPlan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanValidateRejects(t *testing.T) {
+	cases := []Plan{
+		{Carrier: Prefix{Addr: AddrFrom4(10, 0, 0, 0), Len: 8}, BSBits: 10, UEBits: 10, TagBits: 6},  // != 32
+		{Carrier: Prefix{Addr: AddrFrom4(10, 0, 0, 0), Len: 8}, BSBits: 0, UEBits: 24, TagBits: 6},   // zero BS
+		{Carrier: Prefix{Addr: AddrFrom4(10, 0, 0, 0), Len: 8}, BSBits: 12, UEBits: 12, TagBits: 0},  // zero tag
+		{Carrier: Prefix{Addr: AddrFrom4(10, 0, 0, 0), Len: 8}, BSBits: 12, UEBits: 12, TagBits: 13}, // tag too wide
+		{Carrier: Prefix{Addr: AddrFrom4(10, 0, 0, 1), Len: 8}, BSBits: 12, UEBits: 12, TagBits: 6},  // host bits
+		{Carrier: Prefix{Addr: AddrFrom4(10, 0, 0, 0), Len: 31}, BSBits: 12, UEBits: 12, TagBits: 6}, // carrier too long
+		{Carrier: Prefix{Addr: AddrFrom4(10, 0, 0, 0), Len: -1}, BSBits: 21, UEBits: 12, TagBits: 6}, // negative
+	}
+	for i, pl := range cases {
+		if err := pl.Validate(); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, pl)
+		}
+	}
+}
+
+func TestLocIPRoundTrip(t *testing.T) {
+	pl := DefaultPlan
+	a, err := pl.LocIP(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, ue, ok := pl.Split(a)
+	if !ok || bs != 5 || ue != 10 {
+		t.Fatalf("split(%s) = %d %d %v", a, bs, ue, ok)
+	}
+}
+
+func TestLocIPExample(t *testing.T) {
+	// With the default plan, base station 1's prefix is 10.0.16.0/20 (12 UE
+	// bits) and UE 10 there has address 10.0.16.10 — mirroring the paper's
+	// "UE7 arrives at base station 1 with prefix 10.0.0.0/16 ... address
+	// 10.0.0.10" example, adapted to our field widths.
+	pl := DefaultPlan
+	pfx, err := pl.BSPrefix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pfx.String() != "10.0.16.0/20" {
+		t.Fatalf("BSPrefix(1) = %s", pfx)
+	}
+	a, err := pl.LocIP(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != "10.0.16.10" {
+		t.Fatalf("LocIP(1,10) = %s", a)
+	}
+	if !pfx.Contains(a) {
+		t.Fatal("LocIP should fall inside its BS prefix")
+	}
+}
+
+func TestLocIPRoundTripProperty(t *testing.T) {
+	pl := DefaultPlan
+	f := func(bsRaw, ueRaw uint32) bool {
+		bs := BSID(bsRaw) % (pl.MaxBS() + 1)
+		ue := UEID(ueRaw)%pl.MaxUE() + 1 // 1..MaxUE
+		a, err := pl.LocIP(bs, ue)
+		if err != nil {
+			return false
+		}
+		gotBS, gotUE, ok := pl.Split(a)
+		return ok && gotBS == bs && gotUE == ue
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocIPRange(t *testing.T) {
+	pl := DefaultPlan
+	if _, err := pl.LocIP(pl.MaxBS()+1, 1); err == nil {
+		t.Error("BS overflow should fail")
+	}
+	if _, err := pl.LocIP(0, 0); err == nil {
+		t.Error("UE 0 is reserved")
+	}
+	if _, err := pl.LocIP(0, pl.MaxUE()+1); err == nil {
+		t.Error("UE overflow should fail")
+	}
+	if _, err := pl.BSPrefix(pl.MaxBS() + 1); err == nil {
+		t.Error("BSPrefix overflow should fail")
+	}
+}
+
+func TestSplitOutsideCarrier(t *testing.T) {
+	if _, _, ok := DefaultPlan.Split(AddrFrom4(8, 8, 8, 8)); ok {
+		t.Fatal("addresses outside the carrier block should not split")
+	}
+}
+
+func TestEmbedPortRoundTrip(t *testing.T) {
+	pl := DefaultPlan
+	f := func(tagRaw uint16, ephRaw uint16) bool {
+		tag := Tag(tagRaw) % (pl.MaxTag() + 1)
+		eph := ephRaw % (1 << pl.EphemeralBits())
+		port, err := pl.EmbedPort(tag, eph)
+		if err != nil {
+			return false
+		}
+		gotTag, gotEph := pl.SplitPort(port)
+		return gotTag == tag && gotEph == eph
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmbedPortRange(t *testing.T) {
+	pl := DefaultPlan
+	if _, err := pl.EmbedPort(pl.MaxTag()+1, 0); err == nil {
+		t.Error("tag overflow should fail")
+	}
+	if _, err := pl.EmbedPort(0, uint16(1<<pl.EphemeralBits())); err == nil {
+		t.Error("ephemeral overflow should fail")
+	}
+}
+
+func TestTagPortRange(t *testing.T) {
+	pl := DefaultPlan
+	lo, hi, err := pl.TagPortRange(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag, _ := pl.SplitPort(lo); tag != 3 {
+		t.Errorf("lo %d decodes to tag %d", lo, tag)
+	}
+	if tag, _ := pl.SplitPort(hi); tag != 3 {
+		t.Errorf("hi %d decodes to tag %d", hi, tag)
+	}
+	if hi-lo != uint16(1<<pl.EphemeralBits())-1 {
+		t.Errorf("range span = %d", hi-lo)
+	}
+	if tag, _ := pl.SplitPort(hi + 1); tag == 3 {
+		t.Error("range should be tight")
+	}
+	if _, _, err := pl.TagPortRange(pl.MaxTag() + 1); err == nil {
+		t.Error("tag overflow should fail")
+	}
+}
+
+func TestBSPrefixesDisjoint(t *testing.T) {
+	pl := DefaultPlan
+	a, _ := pl.BSPrefix(7)
+	b, _ := pl.BSPrefix(8)
+	if a.Overlaps(b) {
+		t.Fatalf("distinct BS prefixes overlap: %s %s", a, b)
+	}
+	// Adjacent even/odd stations are buddy blocks — the aggregation the
+	// paper relies on ("IDs of nearby base stations can be aggregated").
+	sib, ok := mustPrefix(t, pl, 6).Sibling()
+	if !ok || sib != mustPrefix(t, pl, 7) {
+		t.Fatalf("BS 6's sibling should be BS 7, got %v", sib)
+	}
+}
+
+func mustPrefix(t *testing.T, pl Plan, bs BSID) Prefix {
+	t.Helper()
+	p, err := pl.BSPrefix(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

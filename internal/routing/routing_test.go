@@ -1,0 +1,252 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/topo"
+)
+
+// testNet builds a small line network:
+//
+//	as0(bs0) - agg0 - core0 - gw
+//	as1(bs1) - agg0
+//	mb type 0: inst on agg0 and on core0; mb type 1: inst on core0.
+type testNet struct {
+	*topo.Topology
+	as0, as1, agg0, core0, gw topo.NodeID
+	fwAgg, fwCore, tcCore     topo.MBInstanceID
+}
+
+func newTestNet(t *testing.T) *testNet {
+	t.Helper()
+	n := &testNet{Topology: topo.New()}
+	n.as0 = n.AddNode(topo.Access, "as0")
+	n.as1 = n.AddNode(topo.Access, "as1")
+	n.agg0 = n.AddNode(topo.Agg, "agg0")
+	n.core0 = n.AddNode(topo.Core, "core0")
+	n.gw = n.AddNode(topo.Gateway, "gw")
+	for _, l := range [][2]topo.NodeID{{n.as0, n.agg0}, {n.as1, n.agg0}, {n.agg0, n.core0}, {n.core0, n.gw}} {
+		if err := n.Connect(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.AddBaseStation(0, n.as0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddBaseStation(1, n.as1); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	if n.fwAgg, err = n.AttachMiddlebox(0, n.agg0); err != nil {
+		t.Fatal(err)
+	}
+	if n.fwCore, err = n.AttachMiddlebox(0, n.core0); err != nil {
+		t.Fatal(err)
+	}
+	if n.tcCore, err = n.AttachMiddlebox(1, n.core0); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestPlanNoChain(t *testing.T) {
+	n := newTestNet(t)
+	pl := NewPlanner(n.Topology)
+	p, err := pl.Plan(0, nil, n.gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []topo.NodeID{n.gw, n.core0, n.agg0, n.as0}
+	if len(p.Switches) != len(want) {
+		t.Fatalf("path = %v, want %v", p.Switches, want)
+	}
+	for i := range want {
+		if p.Switches[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p.Switches, want)
+		}
+		if p.MBAt[i] != NoMB {
+			t.Fatalf("unexpected middlebox at %d", i)
+		}
+	}
+	if p.Gateway() != n.gw || p.Access() != n.as0 || p.Origin != 0 {
+		t.Fatal("endpoints wrong")
+	}
+}
+
+func TestPlanNearestInstance(t *testing.T) {
+	n := newTestNet(t)
+	pl := NewPlanner(n.Topology)
+	// Both type-0 instances give the same total path length from the
+	// gateway to bs0; the tie breaks toward the instance closer to the UE,
+	// which is the one on agg0.
+	p, err := pl.Plan(0, []topo.MBType{0}, n.gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Chain) != 1 || p.Chain[0] != n.fwAgg {
+		t.Fatalf("chain = %v, want [%d]", p.Chain, n.fwAgg)
+	}
+	// The middlebox is marked at agg0's position.
+	found := false
+	for i, sw := range p.Switches {
+		if p.MBAt[i] == n.fwAgg {
+			if sw != n.agg0 {
+				t.Fatalf("mb marked at switch %d, want %d", sw, n.agg0)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("middlebox not marked on path")
+	}
+}
+
+func TestPlanChainOrder(t *testing.T) {
+	n := newTestNet(t)
+	pl := NewPlanner(n.Topology)
+	p, err := pl.Plan(1, []topo.MBType{0, 1}, n.gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Chain) != 2 {
+		t.Fatalf("chain = %v", p.Chain)
+	}
+	if p.Chain[0] != n.fwAgg || p.Chain[1] != n.tcCore {
+		t.Fatalf("chain = %v, want [%d %d]", p.Chain, n.fwAgg, n.tcCore)
+	}
+	if p.Access() != n.as1 {
+		t.Fatal("wrong access end")
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	n := newTestNet(t)
+	pl := NewPlanner(n.Topology)
+	if _, err := pl.Plan(99, nil, n.gw); err == nil {
+		t.Error("unknown base station should fail")
+	}
+	if _, err := pl.Plan(0, []topo.MBType{7}, n.gw); err == nil {
+		t.Error("missing middlebox type should fail")
+	}
+}
+
+func TestPlanDisconnected(t *testing.T) {
+	tp := topo.New()
+	as := tp.AddNode(topo.Access, "as")
+	gw := tp.AddNode(topo.Gateway, "gw") // not connected
+	_ = tp.AddBaseStation(0, as)
+	pl := NewPlanner(tp)
+	if _, err := pl.Plan(0, nil, gw); err == nil {
+		t.Fatal("disconnected should fail")
+	}
+}
+
+func TestPlanInstancesPinned(t *testing.T) {
+	n := newTestNet(t)
+	pl := NewPlanner(n.Topology)
+	// Pin the *aggregation* instance even though core0's is nearer to gw.
+	p, err := pl.PlanInstances(0, []topo.MBInstanceID{n.fwAgg}, n.gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Chain) != 1 || p.Chain[0] != n.fwAgg {
+		t.Fatalf("chain = %v", p.Chain)
+	}
+	if _, err := pl.PlanInstances(0, []topo.MBInstanceID{99}, n.gw); err == nil {
+		t.Error("unknown instance should fail")
+	}
+	if _, err := pl.PlanInstances(77, nil, n.gw); err == nil {
+		t.Error("unknown station should fail")
+	}
+}
+
+func TestPathContiguity(t *testing.T) {
+	// Every consecutive switch pair on a planned path must be adjacent.
+	g, err := topo.Generate(topo.GenParams{K: 4, ClusterSize: 10, MBTypes: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPlanner(g.Topology)
+	for bs := packet.BSID(0); bs < 40; bs += 7 {
+		p, err := pl.Plan(bs, []topo.MBType{0, 2, 1}, g.GatewayID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < p.Len(); i++ {
+			if g.Nodes[p.Switches[i-1]].PortTo(p.Switches[i]) < 0 {
+				t.Fatalf("bs%d: switches %d and %d not adjacent in %v",
+					bs, p.Switches[i-1], p.Switches[i], p.Switches)
+			}
+		}
+		if p.Gateway() != g.GatewayID {
+			t.Fatal("path must start at gateway")
+		}
+		st, _ := g.Station(bs)
+		if p.Access() != st.Access {
+			t.Fatal("path must end at the origin's access switch")
+		}
+		if len(p.Chain) != 3 {
+			t.Fatalf("chain length = %d", len(p.Chain))
+		}
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	g, err := topo.Generate(topo.GenParams{K: 4, ClusterSize: 10, MBTypes: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewPlanner(g.Topology)
+	b := NewPlanner(g.Topology)
+	pa, err := a.Plan(17, []topo.MBType{1, 3}, g.GatewayID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.Plan(17, []topo.MBType{1, 3}, g.GatewayID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.String() != pb.String() {
+		t.Fatalf("plans differ:\n%s\n%s", pa, pb)
+	}
+}
+
+func TestRandomSelectorReachableOnly(t *testing.T) {
+	n := newTestNet(t)
+	pl := NewPlanner(n.Topology)
+	pl.Selector = RandomSelector{T: n.Topology, Rng: rand.New(rand.NewSource(1))}
+	seen := map[topo.MBInstanceID]bool{}
+	for i := 0; i < 50; i++ {
+		p, err := pl.Plan(0, []topo.MBType{0}, n.gw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[p.Chain[0]] = true
+	}
+	if !seen[n.fwAgg] || !seen[n.fwCore] {
+		t.Fatalf("random selector should use both instances, saw %v", seen)
+	}
+}
+
+func TestChainKey(t *testing.T) {
+	a := ChainKey(1, []topo.MBInstanceID{2, 3})
+	b := ChainKey(1, []topo.MBInstanceID{3, 2})
+	c := ChainKey(2, []topo.MBInstanceID{2, 3})
+	if a == b || a == c {
+		t.Fatalf("chain keys should be distinct: %q %q %q", a, b, c)
+	}
+	if a != ChainKey(1, []topo.MBInstanceID{2, 3}) {
+		t.Fatal("chain key should be stable")
+	}
+}
+
+func TestPathString(t *testing.T) {
+	n := newTestNet(t)
+	pl := NewPlanner(n.Topology)
+	p, _ := pl.Plan(0, []topo.MBType{0}, n.gw)
+	if p.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataplane"
+	"repro/internal/mbox"
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func testNetwork(t *testing.T, k int, seed int64) *dataplane.Network {
+	t.Helper()
+	g, err := topo.Generate(topo.GenParams{K: k, ClusterSize: 10, MBTypes: 3, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := core.NewController(g.Topology, core.ControllerConfig{
+		Gateway: g.GatewayID,
+		Policy:  policy.ExampleCarrierPolicy(),
+		MBTypes: map[string]topo.MBType{
+			policy.MBFirewall: 0, policy.MBTranscoder: 1, policy.MBEchoCancel: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := mbox.NewRegistry(ctrl.Plan(), packet.NewPrefix(packet.AddrFrom4(198, 51, 100, 0), 24))
+	net, err := dataplane.New(ctrl, dataplane.Config{
+		Registry: reg,
+		MBFuncs:  map[topo.MBType]string{0: "firewall", 1: "transcoder", 2: "echo-cancel"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestScenarioDayInTheLife(t *testing.T) {
+	net := testNetwork(t, 2, 3)
+	r, err := New(net, Params{Seed: 11, Duration: sim.Time(90 * time.Second), UEs: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Attaches == 0 || stats.FlowsOpen == 0 || stats.Handoffs == 0 || stats.Probes == 0 {
+		t.Fatalf("schedule too quiet: %+v", stats)
+	}
+	// The headline §5.1 property: an arbitrary churn schedule produces
+	// zero policy-consistency violations.
+	if stats.Violations != 0 {
+		t.Fatalf("policy-consistency violations: %d (stats %+v)", stats.Violations, stats)
+	}
+	// The hierarchy works: far fewer controller path installs than asks.
+	if stats.ControllerMisses > stats.ControllerPathAsks {
+		t.Fatalf("misses %d > asks %d", stats.ControllerMisses, stats.ControllerPathAsks)
+	}
+}
+
+func TestScenarioDeterministic(t *testing.T) {
+	a, err := New(testNetwork(t, 2, 3), Params{Seed: 5, Duration: sim.Time(30 * time.Second), UEs: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(testNetwork(t, 2, 3), Params{Seed: 5, Duration: sim.Time(30 * time.Second), UEs: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", sa, sb)
+	}
+}
+
+func TestScenarioSeedsDiffer(t *testing.T) {
+	a, _ := New(testNetwork(t, 2, 3), Params{Seed: 1, Duration: sim.Time(30 * time.Second), UEs: 12})
+	sa, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(testNetwork(t, 2, 3), Params{Seed: 2, Duration: sim.Time(30 * time.Second), UEs: 12})
+	sb, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa == sb {
+		t.Fatal("different seeds should produce different schedules")
+	}
+}
+
+func TestScenarioEmptyNetwork(t *testing.T) {
+	tp := topo.New()
+	gw := tp.AddNode(topo.Gateway, "gw")
+	ctrl, err := core.NewController(tp, core.ControllerConfig{
+		Gateway: gw, Policy: policy.ExampleCarrierPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := mbox.NewRegistry(ctrl.Plan(), packet.NewPrefix(packet.AddrFrom4(198, 51, 100, 0), 24))
+	net, err := dataplane.New(ctrl, dataplane.Config{Registry: reg, MBFuncs: map[topo.MBType]string{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(net, Params{}); err == nil {
+		t.Fatal("network without stations should be rejected")
+	}
+}

@@ -1,0 +1,153 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock, a priority event queue, and a seeded random source.
+//
+// All SoftCell workload and mobility simulations run on this kernel so that
+// every experiment is reproducible from its seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp measured in nanoseconds since the start of the
+// simulation. It deliberately mirrors time.Duration so callers can use the
+// time package's constants (sim.Time(3 * time.Second)).
+type Time int64
+
+// Seconds reports the timestamp as fractional seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. Fn runs when the clock reaches At.
+type Event struct {
+	At Time
+	Fn func()
+
+	seq   uint64 // tie-break so equal-time events run FIFO
+	index int    // heap bookkeeping; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.index == -2 }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a single-threaded discrete-event loop. It is not safe for
+// concurrent use; simulations that need concurrency partition work across
+// kernels.
+type Kernel struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+	rng   *rand.Rand
+
+	// Processed counts events executed so far.
+	Processed uint64
+}
+
+// NewKernel returns a kernel whose random source is seeded with seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand exposes the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Pending reports the number of events waiting in the queue.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// (before Now) is an error: deterministic simulations must not time-travel.
+func (k *Kernel) At(at Time, fn func()) (*Event, error) {
+	if at < k.now {
+		return nil, fmt.Errorf("sim: schedule at %v before now %v", at, k.now)
+	}
+	e := &Event{At: at, Fn: fn, seq: k.seq}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e, nil
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	e, _ := k.At(k.now+d, fn) // cannot fail: now+d >= now
+	return e
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op that returns false.
+func (k *Kernel) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&k.queue, e.index)
+	e.index = -2
+	return true
+}
+
+// Step executes the next event, advancing the clock to its timestamp.
+// It returns false when the queue is empty.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(*Event)
+	k.now = e.At
+	k.Processed++
+	e.Fn()
+	return true
+}
+
+// RunUntil executes events until the clock would pass deadline or the queue
+// drains. The clock is left at min(deadline, last event time).
+func (k *Kernel) RunUntil(deadline Time) {
+	for len(k.queue) > 0 && k.queue[0].At <= deadline {
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// Run drains the event queue completely.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}

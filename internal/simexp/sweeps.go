@@ -1,0 +1,102 @@
+package simexp
+
+import "fmt"
+
+// Fig7aPoints is the paper's clause-count sweep (Fig. 7(a)): n from 1000 to
+// 8000 at k=8, m=5.
+var Fig7aPoints = []int{1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000}
+
+// Fig7bPoints is the clause-length sweep (Fig. 7(b)): m from 4 to 8.
+var Fig7bPoints = []int{4, 5, 6, 7, 8}
+
+// Fig7cPoints is the network-size sweep (Fig. 7(c)): k giving 1280 to 20000
+// base stations.
+var Fig7cPoints = []int{8, 10, 12, 14, 16, 18, 20}
+
+// SweepOptions scale a sweep to the host. Scale divides every n (and
+// applies a station stride on the largest networks) so laptops can regenerate
+// the figures quickly; Scale=1 is the paper-exact run.
+type SweepOptions struct {
+	Seed  int64
+	Scale int // divide clause counts by this (default 1)
+	// StrideAt maps k to a station stride (0/absent = all stations).
+	StrideAt map[int]int
+}
+
+func (o SweepOptions) scale() int {
+	if o.Scale <= 0 {
+		return 1
+	}
+	return o.Scale
+}
+
+// Fig7a sweeps the number of policy clauses.
+func Fig7a(opt SweepOptions, report func(Result)) error {
+	for _, n := range Fig7aPoints {
+		r, err := Run(Params{K: 8, N: n / opt.scale(), M: 5, Seed: opt.Seed})
+		if err != nil {
+			return fmt.Errorf("simexp: fig7a n=%d: %w", n, err)
+		}
+		report(r)
+	}
+	return nil
+}
+
+// Fig7b sweeps the clause length.
+func Fig7b(opt SweepOptions, report func(Result)) error {
+	for _, m := range Fig7bPoints {
+		r, err := Run(Params{K: 8, N: 1000 / opt.scale(), M: m, Seed: opt.Seed})
+		if err != nil {
+			return fmt.Errorf("simexp: fig7b m=%d: %w", m, err)
+		}
+		report(r)
+	}
+	return nil
+}
+
+// Fig7c sweeps the network size.
+func Fig7c(opt SweepOptions, report func(Result)) error {
+	for _, k := range Fig7cPoints {
+		stride := 1
+		if opt.StrideAt != nil && opt.StrideAt[k] > 0 {
+			stride = opt.StrideAt[k]
+		}
+		r, err := Run(Params{K: k, N: 1000 / opt.scale(), M: 5, Seed: opt.Seed, StationStride: stride})
+		if err != nil {
+			return fmt.Errorf("simexp: fig7c k=%d: %w", k, err)
+		}
+		report(r)
+	}
+	return nil
+}
+
+// AblationResult pairs a configuration label with its result.
+type AblationResult struct {
+	Name string
+	Result
+}
+
+// Ablations runs the DESIGN.md §5 design-choice ablations at one
+// configuration point.
+func Ablations(base Params, report func(AblationResult)) error {
+	cases := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"full", func(*Params) {}},
+		{"fresh-tag-per-path", func(p *Params) { p.FreshTagPerPath = true }},
+		{"no-prefix-aggregation", func(p *Params) { p.NoPrefixAggregation = true }},
+		{"no-tag-default", func(p *Params) { p.NoTagDefault = true }},
+		{"no-location-routing", func(p *Params) { p.NoLocationRouting = true }},
+	}
+	for _, c := range cases {
+		p := base
+		c.mut(&p)
+		r, err := Run(p)
+		if err != nil {
+			return fmt.Errorf("simexp: ablation %s: %w", c.name, err)
+		}
+		report(AblationResult{Name: c.name, Result: r})
+	}
+	return nil
+}

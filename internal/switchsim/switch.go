@@ -1,0 +1,298 @@
+package switchsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/packet"
+)
+
+// RuleID identifies an installed rule within one switch.
+type RuleID uint64
+
+// Rule is one installed TCAM entry: a prioritised match with an action and
+// traffic counters. Higher Priority wins; ties break toward the more
+// recently installed rule (like OpenFlow's overlapping-rule behaviour with
+// distinct priorities, which SoftCell's controller always uses anyway).
+type Rule struct {
+	ID       RuleID
+	Priority int
+	Match    Match
+	Action   Action
+
+	Packets uint64
+	Bytes   uint64
+	seq     uint64
+}
+
+func (r *Rule) String() string {
+	return fmt.Sprintf("#%d prio=%d %s -> %s", r.ID, r.Priority, r.Match, r.Action)
+}
+
+// Priority bands for SoftCell's rule types (§7): microflow and mobility
+// entries override tag+prefix entries, which override tag-only, which
+// override prefix-only, with a default band at the bottom. Bands are 100
+// apart so longest-prefix-match within a band is expressed by adding the
+// prefix length (0..32) to the band's base priority, as TCAM compilers do.
+const (
+	PrioDefault   = 0
+	PrioPrefix    = 100 // Type 3: location (LPM) rules
+	PrioTag       = 200 // Type 2: tag-only rules
+	PrioTagPrefix = 300 // Type 1: tag + prefix TCAM rules
+	PrioPort      = 400 // in-port-qualified Type 1 rules
+	PrioMBLoc     = 500 // middlebox-return location rules
+	PrioMBTag     = 600 // middlebox-return tag rules
+	PrioMobility  = 700 // per-UE mobility overrides
+	PrioBinding   = 800 // gateway public-IP classifiers (§7)
+	PrioMicroflow = 900 // exact-match microflows at access switches
+)
+
+// Verdict is the outcome of processing one packet.
+type Verdict struct {
+	Rule         *Rule // matching rule; nil when table-miss
+	Output       int   // egress port, -1 if none
+	Drop         bool
+	ToController bool
+	resubmit     bool
+}
+
+// Switch is a software model of one OpenFlow switch. It is safe for
+// concurrent use.
+type Switch struct {
+	Name string
+
+	mu      sync.RWMutex
+	rules   map[RuleID]*Rule
+	ordered []*Rule // sorted by (priority desc, seq desc)
+	micro   map[packet.FlowKey]*Rule
+	nextID  RuleID
+	nextSeq uint64
+
+	// TableMiss is the verdict for packets no rule covers. The default
+	// zero value drops; gateway/core switches usually leave it, access
+	// switches punt to the local agent.
+	TableMiss Action
+
+	// Stats
+	Processed uint64
+	Misses    uint64
+}
+
+// NewSwitch returns an empty switch.
+func NewSwitch(name string) *Switch {
+	return &Switch{
+		Name:      name,
+		rules:     make(map[RuleID]*Rule),
+		micro:     make(map[packet.FlowKey]*Rule),
+		TableMiss: Action{Output: -1, Drop: true},
+	}
+}
+
+// Install adds a TCAM rule and returns its ID.
+func (s *Switch) Install(prio int, m Match, a Action) RuleID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.installLocked(prio, m, a)
+}
+
+func (s *Switch) installLocked(prio int, m Match, a Action) RuleID {
+	s.nextID++
+	s.nextSeq++
+	r := &Rule{ID: s.nextID, Priority: prio, Match: m.normalised(), Action: a, seq: s.nextSeq}
+	s.rules[r.ID] = r
+	i := sort.Search(len(s.ordered), func(i int) bool {
+		o := s.ordered[i]
+		if o.Priority != r.Priority {
+			return o.Priority < r.Priority
+		}
+		return o.seq < r.seq
+	})
+	s.ordered = append(s.ordered, nil)
+	copy(s.ordered[i+1:], s.ordered[i:])
+	s.ordered[i] = r
+	return r.ID
+}
+
+// Remove deletes a TCAM rule by ID. It reports whether the rule existed.
+func (s *Switch) Remove(id RuleID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.removeLocked(id)
+}
+
+func (s *Switch) removeLocked(id RuleID) bool {
+	r, ok := s.rules[id]
+	if !ok {
+		return false
+	}
+	delete(s.rules, id)
+	for i, o := range s.ordered {
+		if o == r {
+			s.ordered = append(s.ordered[:i], s.ordered[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// InstallMicroflow adds (or replaces) an exact-match microflow entry.
+// Access switches use these for the per-flow classification rules the local
+// agent installs (§4.1: "one rule for each microflow at the access switch").
+func (s *Switch) InstallMicroflow(key packet.FlowKey, a Action) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	s.micro[key] = &Rule{ID: s.nextID, Priority: PrioMicroflow, Action: a}
+}
+
+// RemoveMicroflow deletes an exact-match entry.
+func (s *Switch) RemoveMicroflow(key packet.FlowKey) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.micro[key]; !ok {
+		return false
+	}
+	delete(s.micro, key)
+	return true
+}
+
+// Microflow returns the microflow rule for key, if present.
+func (s *Switch) Microflow(key packet.FlowKey) (*Rule, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.micro[key]
+	return r, ok
+}
+
+// Mod is one element of an atomic batch update.
+type Mod struct {
+	Remove   RuleID // when non-zero, remove this rule
+	Install  bool   // when true, install Priority/Match/Action
+	Priority int
+	Match    Match
+	Action   Action
+}
+
+// Apply performs a batch of modifications atomically with respect to
+// Process: no packet observes a partially applied batch. Installed rule IDs
+// are returned in batch order (zero for removals).
+func (s *Switch) Apply(mods []Mod) []RuleID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]RuleID, len(mods))
+	for i, m := range mods {
+		if m.Remove != 0 {
+			s.removeLocked(m.Remove)
+		}
+		if m.Install {
+			ids[i] = s.installLocked(m.Priority, m.Match, m.Action)
+		}
+	}
+	return ids
+}
+
+// Process runs one packet through the pipeline: microflow exact match
+// first, then the TCAM in priority order, then the table-miss action.
+// Rewrites are applied to p in place. A Resubmit action re-runs the TCAM
+// lookup (not the microflow table) with the rewritten headers, at most
+// four times.
+func (s *Switch) Process(p *packet.Packet, inPort int) Verdict {
+	s.mu.Lock() // counters mutate; keep it simple and correct
+	defer s.mu.Unlock()
+	s.Processed++
+
+	var v Verdict
+	matched := false
+	if r, ok := s.micro[p.Flow()]; ok {
+		v = s.execute(r, p)
+		matched = true
+	}
+	for depth := 0; depth < 4; depth++ {
+		if matched && !v.resubmit {
+			return v
+		}
+		matched = false
+		for _, r := range s.ordered {
+			if r.Match.Covers(p, inPort) {
+				v = s.execute(r, p)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			break
+		}
+	}
+	if matched {
+		return v
+	}
+	s.Misses++
+	v = Verdict{Output: -1}
+	a := s.TableMiss
+	a.apply(p)
+	v.Drop = a.Drop || (!a.ToController && a.Output < 0)
+	v.ToController = a.ToController
+	v.Output = a.Output
+	return v
+}
+
+func (s *Switch) execute(r *Rule, p *packet.Packet) Verdict {
+	r.Packets++
+	r.Bytes += uint64(len(p.Payload)) + 24
+	r.Action.apply(p)
+	return Verdict{
+		Rule:         r,
+		Output:       r.Action.Output,
+		Drop:         r.Action.Drop || (!r.Action.ToController && !r.Action.Resubmit && r.Action.Output < 0),
+		ToController: r.Action.ToController,
+		resubmit:     r.Action.Resubmit,
+	}
+}
+
+// NumRules reports TCAM entries (microflows excluded — the paper counts
+// those separately because they live in cheap software hash tables).
+func (s *Switch) NumRules() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rules)
+}
+
+// NumMicroflows reports exact-match entries.
+func (s *Switch) NumMicroflows() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.micro)
+}
+
+// Rules returns a snapshot of the TCAM in match order.
+func (s *Switch) Rules() []Rule {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Rule, len(s.ordered))
+	for i, r := range s.ordered {
+		out[i] = *r
+	}
+	return out
+}
+
+// Rule returns a snapshot of one rule by ID.
+func (s *Switch) Rule(id RuleID) (Rule, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.rules[id]
+	if !ok {
+		return Rule{}, false
+	}
+	return *r, true
+}
+
+// ClearTCAM removes every TCAM rule but keeps the microflow table — the
+// dataplane uses it to re-materialise controller state without disturbing
+// agent-installed flows.
+func (s *Switch) ClearTCAM() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = make(map[RuleID]*Rule)
+	s.ordered = nil
+}
