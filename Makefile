@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race vet verify bench-shards clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# verify is the gate every change must pass.
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+# bench-shards regenerates the committed shard-scaling sweep.
+bench-shards:
+	$(GO) run ./cmd/softcell-bench -mode shards -duration 500ms -out results/bench_shards.txt
+
+clean:
+	$(GO) clean ./...

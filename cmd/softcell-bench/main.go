@@ -6,12 +6,14 @@
 //
 //	softcell-bench -mode controller        # throughput vs worker count
 //	softcell-bench -mode agent             # Table 2
+//	softcell-bench -mode shards            # sharded-dispatcher scaling sweep
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/cbench"
@@ -20,11 +22,12 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "controller", "controller | agent")
+		mode     = flag.String("mode", "controller", "controller | agent | shards")
 		agents   = flag.Int("agents", 16, "emulated agent connections")
 		duration = flag.Duration("duration", time.Second, "per-point measurement window")
 		wire     = flag.Bool("wire", true, "drive the binary control protocol (false: in-process calls)")
 		rtt      = flag.Duration("rtt", 500*time.Microsecond, "simulated controller RTT for agent cache misses")
+		out      = flag.String("out", "", "with -mode shards: also write the sweep table to this file")
 	)
 	flag.Parse()
 
@@ -66,6 +69,39 @@ func main() {
 		fmt.Print(tab)
 		fmt.Println("\npaper Table 2: throughput falls monotonically with the hit ratio; the")
 		fmt.Println("worst case (0%: every flow asks the controller) still sustains ~1.8K/s.")
+	case "shards":
+		fmt.Printf("sharded-controller scaling: %d emulated agents, %v per point, GOMAXPROCS=%d\n",
+			*agents, *duration, runtime.GOMAXPROCS(0))
+		baseline, rows, err := cbench.ShardSweep(cbench.ControllerOptions{
+			Agents: *agents, Duration: *duration,
+		}, []int{1, 2, 4, 8})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		table := cbench.FormatSweep(baseline, rows)
+		caveat := `
+Reading the numbers: the baseline is the in-process single controller —
+callers invoke the controller lock directly, with zero dispatch cost. The
+sharded rows pay a bounded-queue round trip (two channel handoffs) per
+request, which buys lock-free fan-out across shards. Speedup therefore
+tracks available cores: with N cores, N shards run their controller locks
+in parallel and the sweep crosses 1x and climbs; on a single-core host the
+shards time-slice one CPU and the queue overhead is all that is visible
+(speedup well below 1x, flat across widths). GOMAXPROCS above records
+which regime this file was produced in.
+`
+		fmt.Print(table)
+		fmt.Print(caveat)
+		if *out != "" {
+			report := fmt.Sprintf("sharded-controller scaling sweep\nagents=%d duration=%v GOMAXPROCS=%d\n\n%s%s",
+				*agents, *duration, runtime.GOMAXPROCS(0), table, caveat)
+			if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nwrote %s\n", *out)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)

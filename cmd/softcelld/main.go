@@ -7,6 +7,7 @@
 //
 //	softcelld -listen 127.0.0.1:9444                # serve and wait
 //	softcelld -emulate-agents 8 -ues 200            # plus an emulated RAN
+//	softcelld -shards 4                             # sharded control plane
 package main
 
 import (
@@ -21,6 +22,8 @@ import (
 	"repro/internal/ctrlproto"
 	"repro/internal/packet"
 	"repro/internal/policy"
+	"repro/internal/shard"
+	"repro/internal/topo"
 )
 
 func main() {
@@ -29,6 +32,7 @@ func main() {
 		k       = flag.Int("k", 4, "generated topology parameter")
 		emulate = flag.Int("emulate-agents", 0, "spawn this many wire-connected emulated agents")
 		ues     = flag.Int("ues", 100, "emulated subscribers to attach (with -emulate-agents)")
+		shards  = flag.Int("shards", 0, "partition the control plane across this many controller shards (0: single controller with data plane)")
 	)
 	flag.Parse()
 
@@ -36,6 +40,44 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *shards > 0 {
+		// Sharded mode serves the control plane only: the in-process data
+		// plane assumes one controller owning every switch, so agents talk
+		// to the dispatcher over the wire exactly as they would in a real
+		// deployment.
+		d, err := shard.New(shard.Config{
+			Topology: g.Topology,
+			Gateway:  g.GatewayID,
+			Policy:   policy.ExampleCarrierPolicy(),
+			MBTypes: map[string]topo.MBType{
+				policy.MBFirewall: 0, policy.MBTranscoder: 1, policy.MBEchoCancel: 2,
+			},
+			Shards: *shards,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer d.Close()
+		srv := ctrlproto.NewServer(d)
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("softcelld: %d base stations across %d controller shards", len(g.Stations), *shards)
+		log.Printf("softcelld: control channel on %s", ln.Addr())
+		go func() {
+			if err := srv.Serve(ln); err != nil {
+				log.Printf("serve: %v", err)
+			}
+		}()
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		log.Println("softcelld: shutting down")
+		return
+	}
+
 	nw, err := softcell.New(softcell.Options{
 		Topology: g.Topology,
 		Gateway:  g.GatewayID,

@@ -38,10 +38,33 @@ type ControllerOptions struct {
 	OverWire bool
 }
 
+// withDefaults fills the zero values. Every benchmark entry point applies
+// it, so a zero ControllerOptions always measures 16 agents × 1 worker for
+// one second.
+func (o ControllerOptions) withDefaults() ControllerOptions {
+	if o.Agents <= 0 {
+		o.Agents = 16
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.Duration <= 0 {
+		o.Duration = time.Second
+	}
+	return o
+}
+
 // Result reports a throughput measurement.
 type Result struct {
 	Requests uint64
 	Elapsed  time.Duration
+
+	// PerShard holds per-shard completed-request counts when the sharded
+	// benchmark produced the result (empty for single-controller runs).
+	PerShard []uint64
+	// Speedup is throughput relative to the single-controller baseline
+	// measured in the same sweep (0 when no baseline was taken).
+	Speedup float64
 }
 
 // PerSecond is the headline number.
@@ -53,7 +76,21 @@ func (r Result) PerSecond() float64 {
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("%d requests in %v (%.0f/s)", r.Requests, r.Elapsed.Round(time.Millisecond), r.PerSecond())
+	s := fmt.Sprintf("%d requests in %v (%.0f/s)", r.Requests, r.Elapsed.Round(time.Millisecond), r.PerSecond())
+	if len(r.PerShard) > 0 {
+		s += " per-shard ["
+		for i, n := range r.PerShard {
+			if i > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%d", n)
+		}
+		s += "]"
+	}
+	if r.Speedup > 0 {
+		s += fmt.Sprintf(" speedup %.2fx", r.Speedup)
+	}
+	return s
 }
 
 // testbed is the shared fixture: a k=4 generated network with a controller
@@ -102,15 +139,7 @@ func newTestbed() (*testbed, error) {
 
 // BenchController runs the §6.2 central-controller micro-benchmark.
 func BenchController(opts ControllerOptions) (Result, error) {
-	if opts.Agents <= 0 {
-		opts.Agents = 16
-	}
-	if opts.Workers <= 0 {
-		opts.Workers = 1
-	}
-	if opts.Duration <= 0 {
-		opts.Duration = time.Second
-	}
+	opts = opts.withDefaults()
 	tb, err := newTestbed()
 	if err != nil {
 		return Result{}, err

@@ -1,0 +1,163 @@
+package cbench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/shard"
+	"repro/internal/topo"
+)
+
+// ShardedOptions configure the sharded-controller throughput benchmark.
+type ShardedOptions struct {
+	ControllerOptions
+	// Shards is the partition width (default 4).
+	Shards int
+}
+
+func (o ShardedOptions) withDefaults() ShardedOptions {
+	o.ControllerOptions = o.ControllerOptions.withDefaults()
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	return o
+}
+
+// newShardedTestbed mirrors newTestbed over a shard.Dispatcher: the same
+// k=4 network and Table 1 policy, every (station, clause) path pre-warmed,
+// so the measurement window sees only steady-state request handling.
+func newShardedTestbed(shards int) (*shard.Dispatcher, []int, int, error) {
+	g, err := topo.Generate(topo.GenParams{K: 4, ClusterSize: 10, MBTypes: 3, Seed: 1})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	pol := policy.ExampleCarrierPolicy()
+	d, err := shard.New(shard.Config{
+		Topology: g.Topology,
+		Gateway:  g.GatewayID,
+		Policy:   pol,
+		MBTypes: map[string]topo.MBType{
+			policy.MBFirewall: 0, policy.MBTranscoder: 1, policy.MBEchoCancel: 2,
+		},
+		Shards: shards,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var clauses []int
+	for id := 0; id < pol.Len(); id++ {
+		cl, _ := pol.Clause(id)
+		if cl.Action.Allow {
+			clauses = append(clauses, id)
+		}
+	}
+	for bs := 0; bs < len(g.Stations); bs++ {
+		for _, c := range clauses {
+			if _, err := d.RequestPath(packet.BSID(bs), c); err != nil {
+				d.Close()
+				return nil, nil, 0, err
+			}
+		}
+	}
+	return d, clauses, len(g.Stations), nil
+}
+
+// BenchShardedController measures sustained path-request throughput through
+// a shard.Dispatcher: the same agent storm as BenchController, but requests
+// fan out over N parallel controller shards with no shared lock.
+func BenchShardedController(opts ShardedOptions) (Result, error) {
+	opts = opts.withDefaults()
+	d, clauses, nBS, err := newShardedTestbed(opts.Shards)
+	if err != nil {
+		return Result{}, err
+	}
+	defer d.Close()
+
+	var stop atomic.Bool
+	var total uint64
+	var wg sync.WaitGroup
+	before := d.Served()
+	start := time.Now()
+	for i := 0; i < opts.Agents*opts.Workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			var n uint64
+			for !stop.Load() {
+				bs := packet.BSID(rng.Intn(nBS))
+				clause := clauses[rng.Intn(len(clauses))]
+				if _, err := d.RequestPath(bs, clause); err != nil {
+					break
+				}
+				n++
+			}
+			atomic.AddUint64(&total, n)
+		}(i)
+	}
+	time.Sleep(opts.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after := d.Served()
+	perShard := make([]uint64, len(after))
+	for i := range after {
+		perShard[i] = after[i] - before[i]
+	}
+	return Result{Requests: total, Elapsed: elapsed, PerShard: perShard}, nil
+}
+
+// SweepRow is one line of a shard-scaling sweep.
+type SweepRow struct {
+	Shards int
+	Result Result
+}
+
+// ShardSweep measures the single-controller baseline, then the sharded
+// dispatcher at each width, filling in Speedup relative to the baseline.
+func ShardSweep(base ControllerOptions, widths []int) (Result, []SweepRow, error) {
+	base = base.withDefaults()
+	if len(widths) == 0 {
+		widths = []int{1, 2, 4, 8}
+	}
+	baseline, err := BenchController(base)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	rows := make([]SweepRow, 0, len(widths))
+	for _, w := range widths {
+		res, err := BenchShardedController(ShardedOptions{ControllerOptions: base, Shards: w})
+		if err != nil {
+			return baseline, rows, err
+		}
+		if baseline.PerSecond() > 0 {
+			res.Speedup = res.PerSecond() / baseline.PerSecond()
+		}
+		rows = append(rows, SweepRow{Shards: w, Result: res})
+	}
+	return baseline, rows, nil
+}
+
+// FormatSweep renders a sweep as the table committed to results/.
+func FormatSweep(baseline Result, rows []SweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "baseline (1 controller, no dispatcher): %s\n\n", baseline)
+	fmt.Fprintf(&b, "%-8s %12s %12s %9s  %s\n", "shards", "requests", "req/s", "speedup", "per-shard")
+	for _, r := range rows {
+		per := make([]string, len(r.Result.PerShard))
+		for i, n := range r.Result.PerShard {
+			per[i] = fmt.Sprintf("%d", n)
+		}
+		fmt.Fprintf(&b, "%-8d %12d %12.0f %8.2fx  [%s]\n",
+			r.Shards, r.Result.Requests, r.Result.PerSecond(), r.Result.Speedup,
+			strings.Join(per, " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package cbench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDurationDefaultAppliedInBothPaths(t *testing.T) {
+	// The "default 1s" promise lives in one place and both benchmark entry
+	// points go through it.
+	if got := (ControllerOptions{}).withDefaults(); got.Duration != time.Second ||
+		got.Agents != 16 || got.Workers != 1 {
+		t.Fatalf("ControllerOptions defaults = %+v", got)
+	}
+	so := (ShardedOptions{}).withDefaults()
+	if so.Duration != time.Second || so.Agents != 16 || so.Workers != 1 || so.Shards != 4 {
+		t.Fatalf("ShardedOptions defaults = %+v", so)
+	}
+	// Explicit values survive defaulting.
+	kept := (ShardedOptions{
+		ControllerOptions: ControllerOptions{Duration: 50 * time.Millisecond, Agents: 2},
+		Shards:            2,
+	}).withDefaults()
+	if kept.Duration != 50*time.Millisecond || kept.Agents != 2 || kept.Shards != 2 {
+		t.Fatalf("explicit options clobbered: %+v", kept)
+	}
+}
+
+func TestBenchShardedController(t *testing.T) {
+	res, err := BenchShardedController(ShardedOptions{
+		ControllerOptions: ControllerOptions{Agents: 4, Duration: 100 * time.Millisecond},
+		Shards:            2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests processed")
+	}
+	if len(res.PerShard) != 2 {
+		t.Fatalf("PerShard has %d entries, want 2", len(res.PerShard))
+	}
+	var sum uint64
+	for _, n := range res.PerShard {
+		sum += n
+	}
+	// The dispatcher's served counters must account for every completed
+	// request (warm-up is excluded by the before/after snapshot).
+	if sum < res.Requests {
+		t.Fatalf("per-shard counts sum to %d but %d requests completed", sum, res.Requests)
+	}
+	if !strings.Contains(res.String(), "per-shard") {
+		t.Fatalf("render lacks per-shard column: %s", res)
+	}
+}
+
+func TestShardSweepComputesSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	base := ControllerOptions{Agents: 4, Duration: 80 * time.Millisecond}
+	baseline, rows, err := ShardSweep(base, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Requests == 0 || len(rows) != 2 {
+		t.Fatalf("sweep: baseline %v, %d rows", baseline, len(rows))
+	}
+	for _, r := range rows {
+		if r.Result.Speedup <= 0 {
+			t.Fatalf("row %d has no speedup: %+v", r.Shards, r.Result)
+		}
+		if len(r.Result.PerShard) != r.Shards {
+			t.Fatalf("row %d has %d per-shard entries", r.Shards, len(r.Result.PerShard))
+		}
+	}
+	out := FormatSweep(baseline, rows)
+	for _, want := range []string{"baseline", "shards", "speedup", "per-shard"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sweep table lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -114,6 +114,16 @@ type InstallerOptions struct {
 	// 7): it saves gigabytes on 20000-station networks, but traces across
 	// ring clusters no longer resolve. The dataplane never sets this.
 	SkipAccessSwitchRules bool
+	// TagOffset and TagStride partition the tag space across parallel
+	// controller shards: this installer allocates TagOffset+TagStride,
+	// TagOffset+2*TagStride, ... — the residue class TagOffset+TagStride
+	// (mod TagStride). Shards configured with a common stride and distinct
+	// offsets in [0, stride) therefore never emit the same tag, without any
+	// cross-shard coordination; within one shard the existing per-origin
+	// uniqueness argument (paper footnote 2) is unchanged. Zero values mean
+	// offset 0, stride 1: the whole space, the unsharded default.
+	TagOffset int
+	TagStride int
 }
 
 // PathID identifies an installed policy path.
@@ -185,6 +195,12 @@ func NewInstaller(t *topo.Topology, opts InstallerOptions) (*Installer, error) {
 	if err := opts.Plan.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.TagStride < 0 || opts.TagOffset < 0 {
+		return nil, fmt.Errorf("core: negative tag partition (offset %d, stride %d)", opts.TagOffset, opts.TagStride)
+	}
+	if opts.TagStride > 1 && opts.TagOffset >= opts.TagStride {
+		return nil, fmt.Errorf("core: tag offset %d outside stride %d", opts.TagOffset, opts.TagStride)
+	}
 	fibs := make([]*FIB, len(t.Nodes))
 	for i := range fibs {
 		fibs[i] = NewFIB(topo.NodeID(i))
@@ -194,6 +210,7 @@ func NewInstaller(t *topo.Topology, opts InstallerOptions) (*Installer, error) {
 		Opts:       opts,
 		plan:       opts.Plan,
 		fibs:       fibs,
+		nextTag:    packet.Tag(opts.TagOffset),
 		chainTags:  make(map[chainSegKey][]packet.Tag),
 		originTags: make(map[packet.BSID][]packet.Tag),
 		paths:      make(map[PathID]*InstalledPath),
@@ -371,7 +388,11 @@ func (in *Installer) Paths() []*InstalledPath {
 }
 
 func (in *Installer) freshTag() packet.Tag {
-	in.nextTag++
+	stride := packet.Tag(1)
+	if in.Opts.TagStride > 1 {
+		stride = packet.Tag(in.Opts.TagStride)
+	}
+	in.nextTag += stride
 	in.stats.TagsAllocated++
 	return in.nextTag
 }

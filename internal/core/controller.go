@@ -49,8 +49,18 @@ type ControllerConfig struct {
 	Replicas int                    // control-store replicas (§5.2); default 1
 	// PermPool is the block permanent UE addresses are drawn from; it must
 	// not overlap the carrier's LocIP block. Zero value = 100.64.0.0/10.
+	// Parallel controller shards pass disjoint sub-blocks so their
+	// allocations never collide.
 	PermPool packet.Prefix
-	// Installer options (ablations, candidate bounds) pass through.
+	// Stations restricts the controller to a subset of base stations: any
+	// Attach/Handoff/RequestPath naming a station outside the subset fails
+	// with ErrNotOwned. nil (the default) means every station in the
+	// topology. The shard runtime uses this to give each shard a disjoint
+	// slice of the access network — and with it a disjoint LocIP sub-pool,
+	// since LocIPs embed the base-station ID.
+	Stations []packet.BSID
+	// Installer options (ablations, candidate bounds, tag-space partition)
+	// pass through.
 	Install InstallerOptions
 }
 
@@ -72,6 +82,7 @@ type Controller struct {
 	mbTypes  map[string]topo.MBType
 	permPool packet.Prefix
 	permNext uint32
+	owned    map[packet.BSID]bool // nil = unrestricted
 
 	subscribers map[string]policy.Attributes
 	ues         map[string]*UE
@@ -121,6 +132,16 @@ func NewController(t *topo.Topology, cfg ControllerConfig) (*Controller, error) 
 	// Location routing is base infrastructure (Fig. 3(a)): build it now so
 	// location-routed traffic works before the first policy path.
 	inst.EnableLocationRouting(cfg.Gateway)
+	var owned map[packet.BSID]bool
+	if cfg.Stations != nil {
+		owned = make(map[packet.BSID]bool, len(cfg.Stations))
+		for _, bs := range cfg.Stations {
+			if _, ok := t.Station(bs); !ok {
+				return nil, fmt.Errorf("core: restricted to unknown base station %d", bs)
+			}
+			owned[bs] = true
+		}
+	}
 	return &Controller{
 		T:            t,
 		Planner:      routing.NewPlanner(t),
@@ -131,6 +152,7 @@ func NewController(t *topo.Topology, cfg ControllerConfig) (*Controller, error) 
 		gateway:      cfg.Gateway,
 		mbTypes:      cfg.MBTypes,
 		permPool:     cfg.PermPool,
+		owned:        owned,
 		subscribers:  make(map[string]policy.Attributes),
 		ues:          make(map[string]*UE),
 		byLoc:        make(map[packet.Addr]string),
@@ -196,6 +218,9 @@ func (c *Controller) Attach(imsi string, bs packet.BSID) (UE, []Classifier, erro
 	}
 	if _, ok := c.T.Station(bs); !ok {
 		return UE{}, nil, fmt.Errorf("core: unknown base station %d", bs)
+	}
+	if !c.ownsLocked(bs) {
+		return UE{}, nil, fmt.Errorf("core: attach at base station %d: %w", bs, ErrNotOwned)
 	}
 	ue := c.ues[imsi]
 	if ue == nil {
@@ -267,6 +292,9 @@ func (c *Controller) RequestPath(bs packet.BSID, clause int) (packet.Tag, error)
 
 func (c *Controller) requestPathLocked(bs packet.BSID, clause int) (packet.Tag, error) {
 	c.PathAsks++
+	if !c.ownsLocked(bs) {
+		return 0, fmt.Errorf("core: path request from base station %d: %w", bs, ErrNotOwned)
+	}
 	if rec, ok := c.paths[pathKey{bs, clause}]; ok {
 		return rec.AccessTag(), nil
 	}
@@ -384,6 +412,9 @@ func (c *Controller) RecoverLocations(reports []AgentLocationReport) error {
 		ue.LocIP, ue.UEID, ue.BS = 0, 0, 0
 	}
 	for _, rep := range reports {
+		if !c.ownsLocked(rep.BS) {
+			continue // another shard's station; its owner rebuilds it
+		}
 		for _, u := range rep.UEs {
 			ue, ok := c.ues[u.IMSI]
 			if !ok {

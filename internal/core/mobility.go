@@ -210,6 +210,9 @@ func (c *Controller) Handoff(imsi string, newBS packet.BSID) (HandoffResult, err
 	if !ok {
 		return HandoffResult{}, fmt.Errorf("core: unknown base station %d", newBS)
 	}
+	if !c.ownsLocked(newBS) {
+		return HandoffResult{}, fmt.Errorf("core: handoff to base station %d: %w", newBS, ErrNotOwned)
+	}
 	if ue.BS == newBS {
 		return HandoffResult{}, fmt.Errorf("core: UE %q already at base station %d", imsi, newBS)
 	}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/policy"
+)
+
+// This file is the surface the sharded controller runtime (internal/shard)
+// builds on: base-station ownership, batched path resolution, and explicit
+// UE migration between controller instances. A restricted controller owns a
+// disjoint slice of the access network; because LocIPs embed the
+// base-station ID (§4.1), disjoint station sets imply disjoint LocIP
+// sub-pools with no further coordination.
+
+// ErrNotOwned marks a request naming a base station outside the
+// controller's restricted subset (ControllerConfig.Stations). The shard
+// dispatcher uses it to detect misrouted requests after a ring change.
+var ErrNotOwned = errors.New("base station not owned by this controller")
+
+// ownsLocked reports whether the controller serves bs. Must hold c.mu.
+func (c *Controller) ownsLocked(bs packet.BSID) bool {
+	return c.owned == nil || c.owned[bs]
+}
+
+// Owns reports whether the controller serves bs.
+func (c *Controller) Owns(bs packet.BSID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ownsLocked(bs)
+}
+
+// Stations lists the controller's owned base stations; nil means all.
+func (c *Controller) Stations() []packet.BSID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.owned == nil {
+		return nil
+	}
+	out := make([]packet.BSID, 0, len(c.owned))
+	for bs := range c.owned {
+		out = append(out, bs)
+	}
+	return out
+}
+
+// PathQuery names one policy-path resolution.
+type PathQuery struct {
+	BS     packet.BSID
+	Clause int
+}
+
+// PathAnswer is the result of one PathQuery.
+type PathAnswer struct {
+	Tag packet.Tag
+	Err error
+}
+
+// RequestPathBatch resolves a batch of path requests under a single lock
+// acquisition. Shard workers dequeue requests in batches and answer them
+// through this call, so the per-request cost of the controller mutex is
+// amortised across the batch. out is reused when it has capacity.
+func (c *Controller) RequestPathBatch(qs []PathQuery, out []PathAnswer) []PathAnswer {
+	if cap(out) < len(qs) {
+		out = make([]PathAnswer, len(qs))
+	}
+	out = out[:len(qs)]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, q := range qs {
+		out[i].Tag, out[i].Err = c.requestPathLocked(q.BS, q.Clause)
+	}
+	return out
+}
+
+// MigratedUE is the frozen record handed between controllers when a UE
+// crosses a shard boundary: everything location-independent about the
+// device, plus where it came from so the new owner can report the move.
+type MigratedUE struct {
+	IMSI     string
+	Attr     policy.Attributes
+	PermIP   packet.Addr
+	OldBS    packet.BSID
+	OldLocIP packet.Addr
+}
+
+// ExtractUE freezes and removes a UE's record for migration to another
+// controller (phase one of a cross-shard handoff). Its location state is
+// released — old-LocIP reservations and their shortcuts come down, since
+// the shortcut state lives in this controller's switches only — and the
+// record is deleted from the replicated store; the target controller
+// persists it again under its own state.
+func (c *Controller) ExtractUE(imsi string) (MigratedUE, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ue, ok := c.ues[imsi]
+	if !ok {
+		return MigratedUE{}, fmt.Errorf("core: unknown UE %q", imsi)
+	}
+	m := MigratedUE{IMSI: imsi, Attr: ue.Attr, PermIP: ue.PermIP, OldBS: ue.BS, OldLocIP: ue.LocIP}
+	if ue.LocIP != 0 {
+		delete(c.byLoc, ue.LocIP)
+		c.freeUEIDs[ue.BS] = append(c.freeUEIDs[ue.BS], ue.UEID)
+	}
+	for loc, rsv := range c.reservations {
+		if rsv.imsi != imsi {
+			continue
+		}
+		for _, sc := range rsv.shortcuts {
+			c.Installer.RemoveShortcut(sc)
+		}
+		delete(c.reservations, loc)
+		if bs, id, ok := c.plan.Split(loc); ok {
+			c.freeUEIDs[bs] = append(c.freeUEIDs[bs], id)
+		}
+	}
+	delete(c.byPerm, ue.PermIP)
+	delete(c.ues, imsi)
+	if _, err := c.Store.Delete("ue/" + imsi); err != nil {
+		return MigratedUE{}, err
+	}
+	return m, nil
+}
+
+// AdoptUE installs a migrated UE at a base station this controller owns
+// (phase two of a cross-shard handoff): the permanent IP travels with the
+// record, a fresh LocIP is allocated from this controller's sub-pool, and
+// classifiers are compiled against this controller's path table — so the
+// UE's policy paths keep resolving, now through its new shard.
+func (c *Controller) AdoptUE(m MigratedUE, bs packet.BSID) (UE, []Classifier, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.T.Station(bs); !ok {
+		return UE{}, nil, fmt.Errorf("core: unknown base station %d", bs)
+	}
+	if !c.ownsLocked(bs) {
+		return UE{}, nil, fmt.Errorf("core: adopt at base station %d: %w", bs, ErrNotOwned)
+	}
+	if _, exists := c.ues[m.IMSI]; exists {
+		return UE{}, nil, fmt.Errorf("core: UE %q already present", m.IMSI)
+	}
+	if _, ok := c.subscribers[m.IMSI]; !ok {
+		c.subscribers[m.IMSI] = m.Attr
+	}
+	id, loc, err := c.allocLocIP(bs)
+	if err != nil {
+		return UE{}, nil, err
+	}
+	ue := &UE{IMSI: m.IMSI, Attr: m.Attr, PermIP: m.PermIP, BS: bs, UEID: id, LocIP: loc}
+	c.ues[m.IMSI] = ue
+	c.byPerm[m.PermIP] = m.IMSI
+	c.byLoc[loc] = m.IMSI
+	c.Handoffs++
+	if err := c.persistUELocked(ue); err != nil {
+		return UE{}, nil, err
+	}
+	return *ue, c.classifiersLocked(ue), nil
+}
+
+// AbsorbStation extends the controller's ownership to bs and imports the
+// given UE records verbatim (preserving each UE's reported UEID and LocIP,
+// exactly as RecoverLocations does) — the shard-failover path: a dead
+// shard's stations rehash to survivors, which rebuild the location state
+// from the replicated store and live agents' reports.
+func (c *Controller) AbsorbStation(bs packet.BSID, ues []UE) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.T.Station(bs); !ok {
+		return fmt.Errorf("core: unknown base station %d", bs)
+	}
+	if c.owned != nil {
+		c.owned[bs] = true
+	}
+	for _, u := range ues {
+		if u.LocIP == 0 || u.UEID == 0 {
+			continue // detached record: nothing to rebuild
+		}
+		ue, ok := c.ues[u.IMSI]
+		if !ok {
+			ue = &UE{IMSI: u.IMSI, Attr: u.Attr, PermIP: u.PermIP}
+			c.ues[u.IMSI] = ue
+		}
+		if _, ok := c.subscribers[u.IMSI]; !ok {
+			c.subscribers[u.IMSI] = u.Attr
+		}
+		ue.BS, ue.UEID, ue.LocIP = bs, u.UEID, u.LocIP
+		c.byLoc[u.LocIP] = u.IMSI
+		c.byPerm[ue.PermIP] = u.IMSI
+		if u.UEID > c.nextUEID[bs] {
+			c.nextUEID[bs] = u.UEID
+		}
+		if err := c.persistUELocked(ue); err != nil {
+			return err
+		}
+	}
+	return nil
+}

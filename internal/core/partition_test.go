@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/routing"
+	"repro/internal/topo"
+)
+
+// shardedController builds a controller restricted to the given stations
+// with the tag partition (offset, stride) over a fresh Fig. 3 network.
+func shardedController(t *testing.T, stations []packet.BSID, offset, stride int) *Controller {
+	t.Helper()
+	n := newFig3Net(t)
+	if _, err := n.AttachMiddlebox(2, n.cs1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewController(n.Topology, ControllerConfig{
+		Gateway: n.gw,
+		Policy:  policy.ExampleCarrierPolicy(),
+		MBTypes: map[string]topo.MBType{
+			policy.MBFirewall:   0,
+			policy.MBTranscoder: 1,
+			policy.MBEchoCancel: 2,
+		},
+		Stations: stations,
+		Install:  InstallerOptions{TagOffset: offset, TagStride: stride},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRestrictedControllerRejectsForeignStations(t *testing.T) {
+	c := shardedController(t, []packet.BSID{0, 1}, 0, 2)
+	if err := c.RegisterSubscriber("a", policy.Attributes{Provider: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Attach("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Attach("a", 2); !errors.Is(err, ErrNotOwned) {
+		t.Fatalf("attach at foreign station: err = %v, want ErrNotOwned", err)
+	}
+	if _, err := c.Handoff("a", 3); !errors.Is(err, ErrNotOwned) {
+		t.Fatalf("handoff to foreign station: err = %v, want ErrNotOwned", err)
+	}
+	web, _ := c.Policy.Match(policy.Attributes{Provider: "A"}, policy.AppWeb)
+	if _, err := c.RequestPath(2, web); !errors.Is(err, ErrNotOwned) {
+		t.Fatalf("path request from foreign station: err = %v, want ErrNotOwned", err)
+	}
+	if _, err := c.RequestPath(1, web); err != nil {
+		t.Fatalf("path request from owned station: %v", err)
+	}
+	if c.Owns(2) || !c.Owns(0) {
+		t.Fatal("Owns disagrees with the restriction")
+	}
+	if got := len(c.Stations()); got != 2 {
+		t.Fatalf("Stations() = %d entries, want 2", got)
+	}
+}
+
+func TestRequestPathBatchMatchesSingles(t *testing.T) {
+	c, _ := testController(t)
+	attr := policy.Attributes{Provider: "A"}
+	web, _ := c.Policy.Match(attr, policy.AppWeb)
+	video, _ := c.Policy.Match(attr, policy.AppVideo)
+	qs := []PathQuery{{0, web}, {1, web}, {0, video}, {2, web}, {0, web}}
+	ans := c.RequestPathBatch(qs, nil)
+	if len(ans) != len(qs) {
+		t.Fatalf("answers = %d, want %d", len(ans), len(qs))
+	}
+	for i, q := range qs {
+		if ans[i].Err != nil {
+			t.Fatalf("batch[%d] %v: %v", i, q, ans[i].Err)
+		}
+		single, err := c.RequestPath(q.BS, q.Clause)
+		if err != nil || single != ans[i].Tag {
+			t.Fatalf("batch[%d] tag %d != single %d (err %v)", i, ans[i].Tag, single, err)
+		}
+	}
+	// The answer slice is reused when it has capacity.
+	again := c.RequestPathBatch(qs[:2], ans[:0])
+	if &again[0] != &ans[0] {
+		t.Fatal("batch did not reuse the provided slice")
+	}
+	// Errors are per-query, not batch-fatal.
+	mixed := c.RequestPathBatch([]PathQuery{{0, web}, {0, 9999}}, nil)
+	if mixed[0].Err != nil || mixed[1].Err == nil {
+		t.Fatalf("mixed batch: %+v", mixed)
+	}
+}
+
+func TestExtractAdoptMigratesUE(t *testing.T) {
+	// Two shards over their own copies of the network: A owns {0,1},
+	// B owns {2,3}; tag partition 0/2 and 1/2.
+	a := shardedController(t, []packet.BSID{0, 1}, 0, 2)
+	b := shardedController(t, []packet.BSID{2, 3}, 1, 2)
+	if err := a.RegisterSubscriber("mover", policy.Attributes{Provider: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	ue, _, err := a.Attach("mover", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := ue.PermIP
+
+	m, err := a.ExtractUE("mover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PermIP != perm || m.OldBS != 0 || m.OldLocIP != ue.LocIP {
+		t.Fatalf("migrated record wrong: %+v", m)
+	}
+	if _, ok := a.LookupUE("mover"); ok {
+		t.Fatal("source still holds the UE after extract")
+	}
+	if _, err := a.ResolveLocIP(perm); err == nil {
+		t.Fatal("source still resolves the moved UE's permanent IP")
+	}
+
+	got, cls, err := b.AdoptUE(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PermIP != perm {
+		t.Fatalf("permanent IP changed across shards: %s != %s", got.PermIP, perm)
+	}
+	if bs, _, ok := b.Plan().Split(got.LocIP); !ok || bs != 2 {
+		t.Fatalf("LocIP %s not allocated at the new station", got.LocIP)
+	}
+	if len(cls) == 0 {
+		t.Fatal("no classifiers compiled on the target shard")
+	}
+	if loc, err := b.ResolveLocIP(perm); err != nil || loc != got.LocIP {
+		t.Fatalf("target resolve = %s, %v", loc, err)
+	}
+	// Policy paths resolve on the target, with tags from its partition.
+	web, _ := b.Policy.Match(got.Attr, policy.AppWeb)
+	tag, err := b.RequestPath(2, web)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag%2 != 1 {
+		t.Fatalf("target shard (offset 1, stride 2) emitted tag %d outside its residue class", tag)
+	}
+	// Adopting twice is an error; adopting at a foreign station is refused.
+	if _, _, err := b.AdoptUE(m, 2); err == nil {
+		t.Fatal("double adopt should fail")
+	}
+	if _, _, err := a.AdoptUE(MigratedUE{IMSI: "x", PermIP: 1}, 2); !errors.Is(err, ErrNotOwned) {
+		t.Fatalf("adopt at foreign station: %v", err)
+	}
+}
+
+func TestTagPartitionsAreDisjoint(t *testing.T) {
+	n := newFig3Net(t)
+	pl := routing.NewPlanner(n.Topology)
+	seen := map[packet.Tag]int{}
+	for off := 0; off < 3; off++ {
+		in := mustInstaller(t, n.Topology, InstallerOptions{TagOffset: off, TagStride: 3})
+		for bs := packet.BSID(0); bs < 4; bs++ {
+			for _, chain := range [][]topo.MBType{{0}, {0, 1}, {1}} {
+				route, err := pl.Plan(bs, chain, n.gw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec, err := in.InstallPath(route)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, tag := range rec.Tags {
+					if int(tag%3) != off {
+						t.Fatalf("installer with offset %d emitted tag %d", off, tag)
+					}
+					if prev, dup := seen[tag]; dup && prev != off {
+						t.Fatalf("tag %d emitted by offsets %d and %d", tag, prev, off)
+					}
+					seen[tag] = off
+				}
+			}
+		}
+	}
+	if _, err := NewInstaller(n.Topology, InstallerOptions{TagOffset: 3, TagStride: 3}); err == nil {
+		t.Fatal("offset >= stride should be rejected")
+	}
+}
+
+func TestAbsorbStationRebuildsState(t *testing.T) {
+	a := shardedController(t, []packet.BSID{0, 1}, 0, 2)
+	b := shardedController(t, []packet.BSID{2, 3}, 1, 2)
+	_ = a.RegisterSubscriber("u1", policy.Attributes{Provider: "A"})
+	_ = a.RegisterSubscriber("u2", policy.Attributes{Provider: "A", Plan: "silver"})
+	u1, _, err := a.Attach("u1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, _, err := a.Attach("u2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard A dies; B absorbs station 1 with A's reported records.
+	if b.Owns(1) {
+		t.Fatal("precondition: B must not own station 1 yet")
+	}
+	if err := b.AbsorbStation(1, []UE{u1, u2}); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Owns(1) {
+		t.Fatal("absorb did not grant ownership")
+	}
+	for _, want := range []UE{u1, u2} {
+		got, ok := b.LookupUE(want.IMSI)
+		if !ok || got.LocIP != want.LocIP || got.UEID != want.UEID || got.PermIP != want.PermIP {
+			t.Fatalf("absorbed %q = %+v, want %+v", want.IMSI, got, want)
+		}
+		if loc, err := b.ResolveLocIP(want.PermIP); err != nil || loc != want.LocIP {
+			t.Fatalf("resolve %q after absorb: %s, %v", want.IMSI, loc, err)
+		}
+	}
+	// Fresh allocations at the absorbed station skip the imported UEIDs.
+	_ = b.RegisterSubscriber("new", policy.Attributes{Provider: "A"})
+	nu, _, err := b.Attach("new", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nu.UEID == u1.UEID || nu.UEID == u2.UEID {
+		t.Fatalf("fresh UEID %d collides with an absorbed one", nu.UEID)
+	}
+}

@@ -11,11 +11,22 @@ import (
 	"repro/internal/packet"
 )
 
-// Server exposes a core.Controller over the control channel. One goroutine
+// ControlPlane is the slice of controller behaviour the wire protocol
+// needs. Both a bare *core.Controller and a sharded shard.Dispatcher
+// satisfy it, so one server fronts either deployment shape.
+type ControlPlane interface {
+	Attach(imsi string, bs packet.BSID) (core.UE, []core.Classifier, error)
+	Handoff(imsi string, newBS packet.BSID) (core.HandoffResult, error)
+	RequestPath(bs packet.BSID, clause int) (packet.Tag, error)
+	ResolveLocIP(perm packet.Addr) (packet.Addr, error)
+	RecoverLocations(reports []core.AgentLocationReport) error
+}
+
+// Server exposes a ControlPlane over the control channel. One goroutine
 // pool per connection bounds concurrent request handling, mirroring the
 // worker-thread dimension of the paper's Cbench experiment.
 type Server struct {
-	Ctrl *core.Controller
+	Ctrl ControlPlane
 	// Workers bounds concurrently handled requests per connection
 	// (default 8).
 	Workers int
@@ -29,8 +40,8 @@ type Server struct {
 	Requests uint64
 }
 
-// NewServer wraps a controller.
-func NewServer(ctrl *core.Controller) *Server {
+// NewServer wraps a control plane (a controller or a shard dispatcher).
+func NewServer(ctrl ControlPlane) *Server {
 	return &Server{Ctrl: ctrl, Workers: 8, conns: make(map[*conn]packet.BSID)}
 }
 

@@ -1,0 +1,425 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/topo"
+)
+
+// Config parameterises New. Topology, Gateway and Policy are required.
+type Config struct {
+	Topology *topo.Topology
+	Gateway  topo.NodeID
+	Policy   *policy.Policy
+	MBTypes  map[string]topo.MBType
+
+	// Shards is the partition width (default 1).
+	Shards int
+	// VNodes is the ring's virtual-node count per shard (default 128).
+	VNodes int
+	// QueueLen bounds each shard's work queue (default 1024): a full queue
+	// applies backpressure to callers instead of growing without bound.
+	QueueLen int
+	// Workers is the number of worker goroutines per shard (default 2).
+	Workers int
+	// Batch bounds how many queued requests one worker dequeues at a time
+	// (default 64); path requests inside a batch share one controller lock
+	// acquisition.
+	Batch int
+
+	// Plan defaults to packet.DefaultPlan. PermPool (default
+	// 100.64.0.0/10) is carved into one disjoint sub-block per shard.
+	Plan     packet.Plan
+	PermPool packet.Prefix
+	// Replicas per shard store (default 2, so a replica survives the
+	// shard process and failover can rebuild from it).
+	Replicas int
+	// Install passes installer options through; each shard's TagOffset and
+	// TagStride are overwritten with its partition coordinates.
+	Install core.InstallerOptions
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Batch <= 0 {
+		c.Batch = 64
+	}
+	if c.PermPool == (packet.Prefix{}) {
+		c.PermPool = packet.NewPrefix(packet.AddrFrom4(100, 64, 0, 0), 10)
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	return c
+}
+
+// subPool carves the i-th of n disjoint sub-blocks out of pool.
+func subPool(pool packet.Prefix, i, n int) (packet.Prefix, error) {
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	if pool.Len+bits > 30 {
+		return packet.Prefix{}, fmt.Errorf("shard: permanent pool %s too small for %d shards", pool, n)
+	}
+	addr := pool.Addr | packet.Addr(uint32(i)<<(32-pool.Len-bits))
+	return packet.NewPrefix(addr, pool.Len+bits), nil
+}
+
+// ueEntry tracks which shard currently holds one UE's record. Its mutex
+// serialises every UE-keyed operation (attach, handoff, detach), and
+// doubles as the forwarding stub during a cross-shard migration: a request
+// arriving mid-migration blocks on the entry until the move commits, then
+// follows the updated pointer to the target shard.
+type ueEntry struct {
+	mu    sync.Mutex
+	shard *Shard
+}
+
+// Dispatcher fronts a set of controller shards: it routes base-station-
+// keyed requests through the consistent-hash ring and UE-keyed requests
+// through its UE directory, and owns the cross-shard handoff and failover
+// protocols. The hot path (RequestPath) touches no dispatcher-wide lock —
+// only an atomic ring snapshot and the owning shard's queue.
+type Dispatcher struct {
+	cfg    Config
+	shards []*Shard     // indexed by shard id; entries outlive failure
+	ring   atomic.Value // *Ring
+
+	mu     sync.RWMutex
+	ues    map[string]*ueEntry
+	byPerm map[packet.Addr]string
+
+	failMu sync.Mutex // serialises failovers
+}
+
+// New builds the ring, partitions the topology's stations, and starts one
+// restricted controller (plus its queue and workers) per shard.
+func New(cfg Config) (*Dispatcher, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("shard: Config.Topology is required")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("shard: Config.Policy is required")
+	}
+	ids := make([]int, cfg.Shards)
+	for i := range ids {
+		ids[i] = i
+	}
+	ring := NewRing(cfg.VNodes, ids...)
+	stations := make([]packet.BSID, 0, len(cfg.Topology.Stations))
+	for _, st := range cfg.Topology.Stations {
+		stations = append(stations, st.ID)
+	}
+	part, err := ring.Partition(stations)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dispatcher{
+		cfg:    cfg,
+		shards: make([]*Shard, cfg.Shards),
+		ues:    make(map[string]*ueEntry),
+		byPerm: make(map[packet.Addr]string),
+	}
+	d.ring.Store(ring)
+	for _, id := range ids {
+		pool, err := subPool(cfg.PermPool, id, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		install := cfg.Install
+		install.TagOffset, install.TagStride = id, cfg.Shards
+		owned := part[id]
+		if owned == nil {
+			owned = []packet.BSID{} // non-nil: restricted to nothing rather than everything
+		}
+		ctrl, err := core.NewController(cfg.Topology, core.ControllerConfig{
+			Plan:     cfg.Plan,
+			Gateway:  cfg.Gateway,
+			Policy:   cfg.Policy,
+			MBTypes:  cfg.MBTypes,
+			Replicas: cfg.Replicas,
+			PermPool: pool,
+			Stations: owned,
+			Install:  install,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.shards[id] = newShard(id, ctrl, owned, cfg.QueueLen, cfg.Workers, cfg.Batch)
+	}
+	return d, nil
+}
+
+// Ring returns the current ring snapshot.
+func (d *Dispatcher) Ring() *Ring { return d.ring.Load().(*Ring) }
+
+// Shards returns every shard ever started, including failed ones (check
+// Down); index equals shard id.
+func (d *Dispatcher) Shards() []*Shard { return d.shards }
+
+// Shard returns the shard with the given id.
+func (d *Dispatcher) Shard(id int) *Shard { return d.shards[id] }
+
+// ShardOf resolves the shard currently owning a base station.
+func (d *Dispatcher) ShardOf(bs packet.BSID) (*Shard, error) {
+	id, ok := d.Ring().Owner(bs)
+	if !ok {
+		return nil, fmt.Errorf("shard: no live shards")
+	}
+	return d.shards[id], nil
+}
+
+// Served reports per-shard completed-request counts, indexed by shard id.
+func (d *Dispatcher) Served() []uint64 {
+	out := make([]uint64, len(d.shards))
+	for i, s := range d.shards {
+		out[i] = s.Served()
+	}
+	return out
+}
+
+// RegisterSubscriber loads one subscriber record into every live shard:
+// the subscriber database is slow-changing shared state (the paper keeps
+// it in the replicated store), so broadcasting keeps any shard able to
+// admit the UE wherever it first attaches.
+func (d *Dispatcher) RegisterSubscriber(imsi string, attr policy.Attributes) error {
+	for _, s := range d.shards {
+		if s.Down() {
+			continue
+		}
+		if err := s.Ctrl.RegisterSubscriber(imsi, attr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RequestPath resolves a policy path through the owning shard's queue —
+// the sharded hot path. A request caught by a concurrent failover is
+// retried once against the fresh ring.
+func (d *Dispatcher) RequestPath(bs packet.BSID, clause int) (packet.Tag, error) {
+	for attempt := 0; ; attempt++ {
+		s, err := d.ShardOf(bs)
+		if err != nil {
+			return 0, err
+		}
+		w := getWork(opPath)
+		w.bs, w.clause = bs, clause
+		s.do(w)
+		tag, err := w.tag, w.err
+		putWork(w)
+		if err == ErrShardDown && attempt == 0 {
+			continue
+		}
+		return tag, err
+	}
+}
+
+// entry returns (creating if needed) the directory entry for a UE.
+func (d *Dispatcher) entry(imsi string) *ueEntry {
+	d.mu.RLock()
+	e := d.ues[imsi]
+	d.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e = d.ues[imsi]; e == nil {
+		e = &ueEntry{}
+		d.ues[imsi] = e
+	}
+	return e
+}
+
+func (d *Dispatcher) lookupEntry(imsi string) (*ueEntry, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e, ok := d.ues[imsi]
+	return e, ok
+}
+
+func (d *Dispatcher) setPerm(perm packet.Addr, imsi string) {
+	d.mu.Lock()
+	d.byPerm[perm] = imsi
+	d.mu.Unlock()
+}
+
+// Attach admits a UE at a base station, routing to the station's owner.
+// When the UE's record lives on a different shard (a previous attach or a
+// detached record), it is migrated first so the permanent IP survives.
+func (d *Dispatcher) Attach(imsi string, bs packet.BSID) (core.UE, []core.Classifier, error) {
+	target, err := d.ShardOf(bs)
+	if err != nil {
+		return core.UE{}, nil, err
+	}
+	e := d.entry(imsi)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.shard != nil && e.shard != target && !e.shard.Down() {
+		mig, err := d.extract(e.shard, imsi)
+		if err != nil {
+			return core.UE{}, nil, err
+		}
+		ue, cls, err := d.adopt(target, mig, bs)
+		if err != nil {
+			return core.UE{}, nil, err
+		}
+		e.shard = target
+		return ue, cls, nil
+	}
+	w := getWork(opAttach)
+	w.imsi, w.bs = imsi, bs
+	target.do(w)
+	ue, cls, err := w.ue, w.cls, w.err
+	putWork(w)
+	if err != nil {
+		return core.UE{}, nil, err
+	}
+	e.shard = target
+	d.setPerm(ue.PermIP, imsi)
+	return ue, cls, nil
+}
+
+// Detach releases a UE's location state on its current shard (the record
+// and its permanent IP stay there, as in the single-controller core).
+func (d *Dispatcher) Detach(imsi string) error {
+	e, ok := d.lookupEntry(imsi)
+	if !ok {
+		return fmt.Errorf("shard: unknown UE %q", imsi)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.shard == nil {
+		return fmt.Errorf("shard: UE %q has no shard", imsi)
+	}
+	w := getWork(opDetach)
+	w.imsi = imsi
+	e.shard.do(w)
+	err := w.err
+	putWork(w)
+	return err
+}
+
+// LookupUE resolves a UE's record from whichever shard holds it.
+func (d *Dispatcher) LookupUE(imsi string) (core.UE, bool) {
+	e, ok := d.lookupEntry(imsi)
+	if !ok {
+		return core.UE{}, false
+	}
+	e.mu.Lock()
+	s := e.shard
+	e.mu.Unlock()
+	if s == nil {
+		return core.UE{}, false
+	}
+	return s.Ctrl.LookupUE(imsi)
+}
+
+// ResolveLocIP translates a permanent address to the UE's current LocIP.
+func (d *Dispatcher) ResolveLocIP(perm packet.Addr) (packet.Addr, error) {
+	d.mu.RLock()
+	imsi, ok := d.byPerm[perm]
+	d.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("shard: no UE with permanent address %s", perm)
+	}
+	e, ok := d.lookupEntry(imsi)
+	if !ok {
+		return 0, fmt.Errorf("shard: no UE with permanent address %s", perm)
+	}
+	e.mu.Lock()
+	s := e.shard
+	e.mu.Unlock()
+	if s == nil {
+		return 0, fmt.Errorf("shard: UE %q has no shard", imsi)
+	}
+	w := getWork(opResolve)
+	w.perm = perm
+	s.do(w)
+	addr, err := w.addr, w.err
+	putWork(w)
+	return addr, err
+}
+
+// RecoverLocations rebuilds UE-location state across the shards from live
+// agents' reports (§5.2), routing each station's report to its owner.
+func (d *Dispatcher) RecoverLocations(reports []core.AgentLocationReport) error {
+	byShard := make(map[*Shard][]core.AgentLocationReport)
+	for _, rep := range reports {
+		s, err := d.ShardOf(rep.BS)
+		if err != nil {
+			return err
+		}
+		byShard[s] = append(byShard[s], rep)
+	}
+	for s, reps := range byShard {
+		w := getWork(opRecover)
+		w.reports = reps
+		s.do(w)
+		err := w.err
+		putWork(w)
+		if err != nil {
+			return err
+		}
+		for _, rep := range reps {
+			for _, u := range rep.UEs {
+				e := d.entry(u.IMSI)
+				e.mu.Lock()
+				e.shard = s
+				e.mu.Unlock()
+				d.setPerm(u.PermIP, u.IMSI)
+			}
+		}
+	}
+	return nil
+}
+
+// extract runs phase one of a migration on the source shard.
+func (d *Dispatcher) extract(s *Shard, imsi string) (core.MigratedUE, error) {
+	w := getWork(opExtract)
+	w.imsi = imsi
+	s.do(w)
+	mig, err := w.mig, w.err
+	putWork(w)
+	return mig, err
+}
+
+// adopt runs phase two of a migration on the target shard.
+func (d *Dispatcher) adopt(s *Shard, mig core.MigratedUE, bs packet.BSID) (core.UE, []core.Classifier, error) {
+	w := getWork(opAdopt)
+	w.mig, w.bs = mig, bs
+	s.do(w)
+	ue, cls, err := w.ue, w.cls, w.err
+	putWork(w)
+	if err == nil {
+		d.setPerm(ue.PermIP, mig.IMSI)
+	}
+	return ue, cls, err
+}
+
+// Close drains and stops every shard. Callers must have stopped issuing
+// requests first.
+func (d *Dispatcher) Close() {
+	for _, s := range d.shards {
+		s.close()
+	}
+}

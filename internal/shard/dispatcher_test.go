@@ -1,0 +1,224 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/topo"
+)
+
+// newTestDispatcher builds a dispatcher over a small generated network
+// (K=2, ClusterSize=10 → 20 base stations) running the Table 1 policy.
+func newTestDispatcher(t testing.TB, shards int) (*Dispatcher, *topo.Generated) {
+	t.Helper()
+	g, err := topo.Generate(topo.GenParams{K: 2, ClusterSize: 10, MBTypes: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{
+		Topology: g.Topology,
+		Gateway:  g.GatewayID,
+		Policy:   policy.ExampleCarrierPolicy(),
+		MBTypes: map[string]topo.MBType{
+			policy.MBFirewall: 0, policy.MBTranscoder: 1, policy.MBEchoCancel: 2,
+		},
+		Shards: shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d, g
+}
+
+// allowClauses lists the policy's allow-clause ids (the ones with paths).
+func allowClauses(t testing.TB, d *Dispatcher) []int {
+	t.Helper()
+	pol := d.cfg.Policy
+	var out []int
+	for id := 0; id < pol.Len(); id++ {
+		cl, _ := pol.Clause(id)
+		if cl.Action.Allow {
+			out = append(out, id)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("policy has no allow clauses")
+	}
+	return out
+}
+
+// twoShardStations finds two stations owned by different shards.
+func twoShardStations(t testing.TB, d *Dispatcher, g *topo.Generated) (a, b packet.BSID) {
+	t.Helper()
+	ring := d.Ring()
+	first, _ := ring.Owner(g.Stations[0].ID)
+	for _, st := range g.Stations[1:] {
+		if owner, _ := ring.Owner(st.ID); owner != first {
+			return g.Stations[0].ID, st.ID
+		}
+	}
+	t.Skip("ring placed every station on one shard")
+	return 0, 0
+}
+
+func TestSubPoolCarvesDisjointBlocks(t *testing.T) {
+	pool := packet.NewPrefix(packet.AddrFrom4(100, 64, 0, 0), 10)
+	const n = 4
+	var pools []packet.Prefix
+	for i := 0; i < n; i++ {
+		p, err := subPool(pool, i, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Len != pool.Len+2 {
+			t.Fatalf("sub-pool %d length = /%d, want /%d", i, p.Len, pool.Len+2)
+		}
+		if !pool.Contains(p.Addr) {
+			t.Fatalf("sub-pool %d (%s) escapes parent %s", i, p, pool)
+		}
+		for j, q := range pools {
+			if p.Contains(q.Addr) || q.Contains(p.Addr) {
+				t.Fatalf("sub-pools %d (%s) and %d (%s) overlap", i, p, j, q)
+			}
+		}
+		pools = append(pools, p)
+	}
+	// A pool with no room left must be refused, not silently shared.
+	tiny := packet.NewPrefix(packet.AddrFrom4(10, 0, 0, 0), 30)
+	if _, err := subPool(tiny, 0, 4); err == nil {
+		t.Fatal("subPool accepted a /30 for 4 shards")
+	}
+}
+
+func TestDispatcherServesPathsWithPartitionedTags(t *testing.T) {
+	const shards = 4
+	d, g := newTestDispatcher(t, shards)
+	clauses := allowClauses(t, d)
+	ring := d.Ring()
+	requests := 0
+	for _, st := range g.Stations {
+		owner, _ := ring.Owner(st.ID)
+		for _, cl := range clauses {
+			tag, err := d.RequestPath(st.ID, cl)
+			if err != nil {
+				t.Fatalf("RequestPath(%d, %d): %v", st.ID, cl, err)
+			}
+			if tag == 0 {
+				t.Fatalf("RequestPath(%d, %d) returned the ask-controller tag", st.ID, cl)
+			}
+			// Each shard allocates from its own residue class, so a tag
+			// proves which shard minted it.
+			if int(tag)%shards != owner {
+				t.Fatalf("station %d owned by shard %d got tag %d (residue %d)",
+					st.ID, owner, tag, int(tag)%shards)
+			}
+			requests++
+		}
+	}
+	total := uint64(0)
+	for id, served := range d.Served() {
+		if served > 0 && !ring.Has(id) {
+			t.Fatalf("dead shard %d served requests", id)
+		}
+		total += served
+	}
+	if total != uint64(requests) {
+		t.Fatalf("shards served %d requests, want %d", total, requests)
+	}
+}
+
+func TestDispatcherAttachResolveDetach(t *testing.T) {
+	d, g := newTestDispatcher(t, 3)
+	if err := d.RegisterSubscriber("imsi-1", policy.Attributes{Provider: "A", Plan: "gold"}); err != nil {
+		t.Fatal(err)
+	}
+	bs := g.Stations[0].ID
+	ue, cls, err := d.Attach("imsi-1", bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls) == 0 {
+		t.Fatal("attach returned no classifiers")
+	}
+	got, ok := d.LookupUE("imsi-1")
+	if !ok || got.BS != bs || got.LocIP != ue.LocIP {
+		t.Fatalf("LookupUE = %+v, %v", got, ok)
+	}
+	loc, err := d.ResolveLocIP(ue.PermIP)
+	if err != nil || loc != ue.LocIP {
+		t.Fatalf("ResolveLocIP = %s, %v; want %s", loc, err, ue.LocIP)
+	}
+	if err := d.Detach("imsi-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ResolveLocIP(ue.PermIP); err == nil {
+		t.Fatal("resolved a detached UE")
+	}
+}
+
+func TestAttachOnAnotherShardMigratesRecord(t *testing.T) {
+	d, g := newTestDispatcher(t, 4)
+	bsA, bsB := twoShardStations(t, d, g)
+	if err := d.RegisterSubscriber("roamer", policy.Attributes{Provider: "B"}); err != nil {
+		t.Fatal(err)
+	}
+	first, _, err := d.Attach("roamer", bsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := d.Attach("roamer", bsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.PermIP != first.PermIP {
+		t.Fatalf("permanent IP changed across shards: %s -> %s", first.PermIP, second.PermIP)
+	}
+	srcShard, _ := d.ShardOf(bsA)
+	if _, ok := srcShard.Ctrl.LookupUE("roamer"); ok {
+		t.Fatal("source shard still holds the migrated record")
+	}
+	if loc, err := d.ResolveLocIP(first.PermIP); err != nil || loc != second.LocIP {
+		t.Fatalf("ResolveLocIP after migration = %s, %v; want %s", loc, err, second.LocIP)
+	}
+}
+
+func TestDispatcherSingleShardMatchesUnsharded(t *testing.T) {
+	d, g := newTestDispatcher(t, 1)
+	clauses := allowClauses(t, d)
+	for _, st := range g.Stations[:4] {
+		for _, cl := range clauses {
+			if tag, err := d.RequestPath(st.ID, cl); err != nil || tag == 0 {
+				t.Fatalf("RequestPath(%d, %d) = %d, %v", st.ID, cl, tag, err)
+			}
+		}
+	}
+	if err := d.RegisterSubscriber("solo", policy.Attributes{Provider: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Attach("solo", g.Stations[0].ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDispatcherRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted a config with no topology")
+	}
+	g, err := topo.Generate(topo.GenParams{K: 2, ClusterSize: 2, MBTypes: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Topology: g.Topology, Gateway: g.GatewayID}); err == nil {
+		t.Fatal("New accepted a config with no policy")
+	}
+}
+
+func ExampleRing_Owner() {
+	r := NewRing(DefaultVNodes, 0, 1)
+	owner, _ := r.Owner(7)
+	fmt.Println(owner >= 0 && owner <= 1)
+	// Output: true
+}

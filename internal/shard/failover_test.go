@@ -1,0 +1,179 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/topo"
+)
+
+// TestFailShardRebuildsFromStoreAndReports kills a shard and checks its UE
+// state is reassembled on the survivors from the two recovery sources: live
+// agents' location reports, and — for a UE whose agent stays silent — the
+// dead shard's replicated store alone.
+func TestFailShardRebuildsFromStoreAndReports(t *testing.T) {
+	d, g := newTestDispatcher(t, 3)
+	ring := d.Ring()
+
+	// Pick a victim shard owning at least two stations, so one UE can be
+	// covered by an agent report and another left to the store.
+	part, err := ring.Partition(stationIDs(g.Stations))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := -1
+	for id, owned := range part {
+		if len(owned) >= 2 {
+			victim = id
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no shard owns two stations under this ring")
+	}
+	bsReported, bsSilent := part[victim][0], part[victim][1]
+
+	for i, bs := range []packet.BSID{bsReported, bsSilent} {
+		imsi := fmt.Sprintf("ue-%d", i)
+		if err := d.RegisterSubscriber(imsi, policy.Attributes{Provider: "A"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := d.Attach(imsi, bs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reportedUE, _ := d.LookupUE("ue-0")
+	silentUE, _ := d.LookupUE("ue-1")
+
+	// Only the first station's agent answers the post-failure query.
+	reports := []core.AgentLocationReport{{BS: bsReported, UEs: []core.UE{reportedUE}}}
+	rep, err := d.FailShard(victim, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FromReports != 1 || rep.FromStore != 1 {
+		t.Fatalf("recovery sources: %+v, want 1 from reports and 1 from store", rep)
+	}
+	if rep.Stations != len(part[victim]) {
+		t.Fatalf("rehashed %d stations, want %d", rep.Stations, len(part[victim]))
+	}
+	if d.Ring().Has(victim) {
+		t.Fatal("failed shard still on the ring")
+	}
+	if !d.Shard(victim).Down() {
+		t.Fatal("failed shard not marked down")
+	}
+
+	// Both UEs survive with their addresses intact on surviving shards.
+	for _, want := range []core.UE{reportedUE, silentUE} {
+		got, ok := d.LookupUE(want.IMSI)
+		if !ok {
+			t.Fatalf("UE %q lost in failover", want.IMSI)
+		}
+		if got.BS != want.BS || got.LocIP != want.LocIP || got.PermIP != want.PermIP {
+			t.Fatalf("UE %q rebuilt as %+v, want %+v", want.IMSI, got, want)
+		}
+		owner, _ := d.Ring().Owner(got.BS)
+		if owner == victim {
+			t.Fatalf("UE %q still maps to the dead shard", want.IMSI)
+		}
+		if _, ok := d.Shard(owner).Ctrl.LookupUE(want.IMSI); !ok {
+			t.Fatalf("new owner shard %d does not hold UE %q", owner, want.IMSI)
+		}
+		if loc, err := d.ResolveLocIP(want.PermIP); err != nil || loc != want.LocIP {
+			t.Fatalf("ResolveLocIP(%s) = %s, %v after failover", want.PermIP, loc, err)
+		}
+	}
+
+	// Every rehashed station serves path requests again — including ones
+	// that held no UEs — and new tags come from the survivor's partition.
+	clauses := allowClauses(t, d)
+	for _, bs := range part[victim] {
+		owner, _ := d.Ring().Owner(bs)
+		tag, err := d.RequestPath(bs, clauses[0])
+		if err != nil {
+			t.Fatalf("RequestPath(%d) after failover: %v", bs, err)
+		}
+		if tag == 0 || int(tag)%3 != owner {
+			t.Fatalf("station %d tag %d not from new owner %d", bs, tag, owner)
+		}
+	}
+
+	// The survivors can keep serving handoffs for the recovered UE.
+	var other packet.BSID
+	for _, st := range g.Stations {
+		if owner, _ := d.Ring().Owner(st.ID); owner != victim && st.ID != reportedUE.BS {
+			other = st.ID
+			break
+		}
+	}
+	if hr, err := d.Handoff("ue-0", other); err != nil {
+		t.Fatalf("handoff of recovered UE: %v", err)
+	} else if hr.UE.PermIP != reportedUE.PermIP {
+		t.Fatal("recovered UE lost its permanent IP on handoff")
+	}
+
+	// A second failure of the same shard is refused.
+	if _, err := d.FailShard(victim, nil); err == nil {
+		t.Fatal("FailShard accepted an already-dead shard")
+	}
+}
+
+func TestFailShardRefusesLastShard(t *testing.T) {
+	d, _ := newTestDispatcher(t, 1)
+	if _, err := d.FailShard(0, nil); err == nil {
+		t.Fatal("failed the only shard")
+	}
+	if _, err := d.FailShard(7, nil); err == nil {
+		t.Fatal("failed a nonexistent shard")
+	}
+}
+
+// TestRequestPathRetriesAcrossFailover checks the documented retry: a
+// request that catches ErrShardDown rides the fresh ring to a survivor.
+func TestRequestPathRetriesAcrossFailover(t *testing.T) {
+	d, g := newTestDispatcher(t, 2)
+	clauses := allowClauses(t, d)
+	part, err := d.Ring().Partition(stationIDs(g.Stations))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := -1
+	for id, owned := range part {
+		if len(owned) > 0 {
+			victim = id
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("degenerate partition")
+	}
+	bs := part[victim][0]
+	if _, err := d.FailShard(victim, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The dead shard answers ErrShardDown directly; the dispatcher's retry
+	// hides it from the caller.
+	w := getWork(opPath)
+	w.bs, w.clause = bs, clauses[0]
+	d.Shard(victim).do(w)
+	if !errors.Is(w.err, ErrShardDown) {
+		t.Fatalf("dead shard answered %v, want ErrShardDown", w.err)
+	}
+	putWork(w)
+	if tag, err := d.RequestPath(bs, clauses[0]); err != nil || tag == 0 {
+		t.Fatalf("RequestPath through failover = %d, %v", tag, err)
+	}
+}
+
+func stationIDs(stations []topo.BaseStation) []packet.BSID {
+	out := make([]packet.BSID, len(stations))
+	for i, st := range stations {
+		out[i] = st.ID
+	}
+	return out
+}

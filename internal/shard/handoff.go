@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// Handoff moves a UE to a new base station. Within one shard this is the
+// controller's own §5.1 handoff (old LocIP reserved, shortcuts installed).
+// Across a shard boundary it is a two-phase migration:
+//
+//  1. freeze-on-source: the source shard extracts the UE's record, tearing
+//     down its location state and old-LocIP reservations (the shortcut
+//     state lives in the source shard's switches only);
+//  2. install-on-target: the target shard adopts the record, allocating a
+//     LocIP from its own sub-pool and compiling classifiers against its
+//     own path table — the UE's policy paths resolve again immediately,
+//     now with tags from the target's partition.
+//
+// For the whole migration the UE's directory entry is held locked: it is
+// the forwarding stub. In-flight UE-keyed requests that arrive mid-move
+// block on the entry and, once the move commits, follow the updated
+// pointer to the target shard; concurrent handoffs of the same UE
+// serialise the same way, so exactly one ordering wins.
+func (d *Dispatcher) Handoff(imsi string, newBS packet.BSID) (core.HandoffResult, error) {
+	target, err := d.ShardOf(newBS)
+	if err != nil {
+		return core.HandoffResult{}, err
+	}
+	e, ok := d.lookupEntry(imsi)
+	if !ok {
+		return core.HandoffResult{}, fmt.Errorf("shard: UE %q is not attached", imsi)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	src := e.shard
+	if src == nil {
+		return core.HandoffResult{}, fmt.Errorf("shard: UE %q is not attached", imsi)
+	}
+	if src == target {
+		w := getWork(opHandoff)
+		w.imsi, w.bs = imsi, newBS
+		src.do(w)
+		hr, err := w.hr, w.err
+		putWork(w)
+		return hr, err
+	}
+
+	// Cross-shard: freeze on the source...
+	mig, err := d.extract(src, imsi)
+	if err != nil {
+		return core.HandoffResult{}, err
+	}
+	if mig.OldLocIP == 0 {
+		// The record existed but was detached; put it back where it can
+		// re-attach and report the usual error.
+		if _, _, aerr := d.adopt(src, mig, mig.OldBS); aerr == nil {
+			_ = d.detachOn(src, imsi)
+		}
+		return core.HandoffResult{}, fmt.Errorf("shard: UE %q is not attached", imsi)
+	}
+	// ...install on the target.
+	ue, cls, err := d.adopt(target, mig, newBS)
+	if err != nil {
+		// Roll the record back onto the source so the UE is not lost.
+		if _, _, rerr := d.adopt(src, mig, mig.OldBS); rerr != nil {
+			return core.HandoffResult{}, fmt.Errorf("shard: cross-shard handoff failed (%v) and rollback failed: %w", err, rerr)
+		}
+		return core.HandoffResult{}, err
+	}
+	e.shard = target
+	return core.HandoffResult{
+		UE:       ue,
+		OldBS:    mig.OldBS,
+		OldLocIP: mig.OldLocIP,
+		// Classifiers come from the target shard; no Shortcuts: the old
+		// LocIP's state was torn down with the source extraction, so old
+		// flows re-resolve through the new classifiers instead of riding a
+		// temporary shortcut (a cross-shard soft handoff would need
+		// cross-shard FIB writes, which shards by design never do).
+		Classifiers: cls,
+	}, nil
+}
+
+// detachOn releases a UE's location state on a specific shard (rollback
+// helper; the caller holds the UE's entry lock).
+func (d *Dispatcher) detachOn(s *Shard, imsi string) error {
+	w := getWork(opDetach)
+	w.imsi = imsi
+	s.do(w)
+	err := w.err
+	putWork(w)
+	return err
+}

@@ -1,0 +1,145 @@
+package shard
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+)
+
+// TestRingRemovalMovesOnlyVictimsStations checks the defining consistent-
+// hashing invariant with testing/quick: removing a shard relocates exactly
+// the stations it owned — every other station keeps its owner.
+func TestRingRemovalMovesOnlyVictimsStations(t *testing.T) {
+	prop := func(nShards uint8, victimPick uint8, seed uint16) bool {
+		n := int(nShards%7) + 2 // 2..8 shards
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		r := NewRing(64, ids...)
+		victim := int(victimPick) % n
+		r2 := r.Without(victim)
+		if r2.Has(victim) || r2.Len() != n-1 {
+			return false
+		}
+		for bs := packet.BSID(seed); bs < packet.BSID(seed)+512; bs++ {
+			before, _ := r.Owner(bs)
+			after, _ := r2.Owner(bs)
+			if before == victim {
+				if after == victim {
+					return false // the victim must actually lose its stations
+				}
+				continue
+			}
+			if after != before {
+				return false // a surviving shard's station moved — not consistent
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRingAdditionMovesStationsOnlyToNewcomer checks the dual invariant:
+// growing the ring moves stations only onto the new shard.
+func TestRingAdditionMovesStationsOnlyToNewcomer(t *testing.T) {
+	prop := func(nShards uint8, seed uint16) bool {
+		n := int(nShards%7) + 1 // 1..7 existing shards
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		r := NewRing(64, ids...)
+		newcomer := n
+		r2 := r.With(newcomer)
+		if !r2.Has(newcomer) || r2.Len() != n+1 {
+			return false
+		}
+		moved := 0
+		for bs := packet.BSID(seed); bs < packet.BSID(seed)+512; bs++ {
+			before, _ := r.Owner(bs)
+			after, _ := r2.Owner(bs)
+			if after != before {
+				if after != newcomer {
+					return false // stations may only move to the new shard
+				}
+				moved++
+			}
+		}
+		// With vnodes the newcomer takes ~1/(n+1) of stations; allow a wide
+		// margin but insist it is nowhere near a full reshuffle.
+		return moved <= 512*2/(n+1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const nShards, nBS = 4, 4096
+	r := NewRing(DefaultVNodes, 0, 1, 2, 3)
+	counts := make(map[int]int)
+	for bs := packet.BSID(0); bs < nBS; bs++ {
+		owner, ok := r.Owner(bs)
+		if !ok {
+			t.Fatal("empty ring")
+		}
+		counts[owner]++
+	}
+	for id := 0; id < nShards; id++ {
+		frac := float64(counts[id]) / nBS
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("shard %d owns %.0f%% of stations (counts %v) — ring badly unbalanced", id, frac*100, counts)
+		}
+	}
+}
+
+func TestRingPartitionCoversAllStations(t *testing.T) {
+	r := NewRing(0, 0, 1, 2)
+	stations := make([]packet.BSID, 160)
+	for i := range stations {
+		stations[i] = packet.BSID(i)
+	}
+	part, err := r.Partition(stations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for id, owned := range part {
+		if !r.Has(id) {
+			t.Fatalf("partition assigned stations to unknown shard %d", id)
+		}
+		total += len(owned)
+		for _, bs := range owned {
+			if owner, _ := r.Owner(bs); owner != id {
+				t.Fatalf("station %d grouped under %d but owned by %d", bs, id, owner)
+			}
+		}
+	}
+	if total != len(stations) {
+		t.Fatalf("partition covers %d of %d stations", total, len(stations))
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(8)
+	if _, ok := empty.Owner(0); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if _, err := empty.Partition([]packet.BSID{0}); err == nil {
+		t.Fatal("empty ring partitioned stations")
+	}
+	r := NewRing(8, 5)
+	if r.With(5) != r {
+		t.Fatal("With(existing) should return the same ring")
+	}
+	if r.Without(9) != r {
+		t.Fatal("Without(absent) should return the same ring")
+	}
+	if owner, ok := r.Owner(1234); !ok || owner != 5 {
+		t.Fatalf("single-shard ring: owner = %d, %v", owner, ok)
+	}
+}

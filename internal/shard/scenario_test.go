@@ -1,0 +1,114 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// TestScenarioCrossShardHandover drives the sharded control plane from the
+// deterministic sim kernel: a UE attaches, its traffic resolves policy
+// paths on a tick, it hands over across a shard boundary mid-run, and the
+// same clauses keep resolving afterwards — the paper's policy-consistency
+// requirement, here across shards.
+func TestScenarioCrossShardHandover(t *testing.T) {
+	const shards = 4
+	d, g := newTestDispatcher(t, shards)
+	bsA, bsB := twoShardStations(t, d, g)
+	if err := d.RegisterSubscriber("walker", policy.Attributes{Provider: "A", Plan: "silver"}); err != nil {
+		t.Fatal(err)
+	}
+
+	k := sim.NewKernel(42)
+	var (
+		ue          packet.Addr // permanent IP, fixed at attach
+		clauses     []int
+		resolves    int
+		preHandoff  int
+		postHandoff int
+		handedOver  bool
+	)
+
+	if _, err := k.At(0, func() {
+		u, cls, err := d.Attach("walker", bsA)
+		if err != nil {
+			t.Errorf("attach: %v", err)
+			return
+		}
+		ue = u.PermIP
+		for _, c := range cls {
+			clauses = append(clauses, c.Clause)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every 10ms of virtual time the UE's traffic shows up: the agent
+	// resolves the LocIP and asks for each clause's path.
+	if _, err := k.Every(sim.Time(10*time.Millisecond), func() bool {
+		loc, err := d.ResolveLocIP(ue)
+		if err != nil || loc == 0 {
+			t.Errorf("t=%v: resolve: %v", k.Now(), err)
+			return false
+		}
+		got, _ := d.LookupUE("walker")
+		wantBS := bsA
+		if handedOver {
+			wantBS = bsB
+		}
+		if got.BS != wantBS || got.LocIP != loc {
+			t.Errorf("t=%v: UE at %d/%s, want %d/%s", k.Now(), got.BS, got.LocIP, wantBS, loc)
+			return false
+		}
+		owner, _ := d.Ring().Owner(got.BS)
+		for _, cl := range clauses {
+			tag, err := d.RequestPath(got.BS, cl)
+			if err != nil {
+				t.Errorf("t=%v: path for clause %d: %v", k.Now(), cl, err)
+				return false
+			}
+			if tag == 0 || int(tag)%shards != owner {
+				t.Errorf("t=%v: clause %d tag %d not from shard %d", k.Now(), cl, tag, owner)
+				return false
+			}
+			resolves++
+		}
+		if handedOver {
+			postHandoff++
+		} else {
+			preHandoff++
+		}
+		return k.Now() < sim.Time(200*time.Millisecond)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-run, the UE walks across the shard boundary.
+	if _, err := k.At(sim.Time(95*time.Millisecond), func() {
+		hr, err := d.Handoff("walker", bsB)
+		if err != nil {
+			t.Errorf("handover: %v", err)
+			return
+		}
+		if hr.UE.PermIP != ue {
+			t.Errorf("handover changed the permanent IP: %s -> %s", ue, hr.UE.PermIP)
+		}
+		handedOver = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	k.Run()
+	if !handedOver {
+		t.Fatal("scenario never handed over")
+	}
+	if preHandoff == 0 || postHandoff == 0 {
+		t.Fatalf("traffic ticks: %d before, %d after handover — need both", preHandoff, postHandoff)
+	}
+	if resolves < (preHandoff+postHandoff)*len(clauses) {
+		t.Fatalf("resolved %d paths over %d ticks", resolves, preHandoff+postHandoff)
+	}
+}

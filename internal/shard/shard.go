@@ -1,0 +1,208 @@
+package shard
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// ErrShardDown marks a request that reached a shard after its failure was
+// declared; the dispatcher retries against a fresh ring snapshot once, so
+// callers only see this during the failover window itself.
+var ErrShardDown = errors.New("shard: controller shard is down")
+
+// opKind discriminates the work items a shard worker serves.
+type opKind uint8
+
+const (
+	opPath opKind = iota
+	opAttach
+	opHandoff
+	opDetach
+	opResolve
+	opExtract
+	opAdopt
+	opAbsorb
+	opRecover
+)
+
+// work is one queued request plus its result slots. Items are pooled; the
+// done channel is allocated once per item and reused across requests.
+type work struct {
+	kind    opKind
+	bs      packet.BSID
+	clause  int
+	imsi    string
+	perm    packet.Addr
+	mig     core.MigratedUE
+	ues     []core.UE
+	reports []core.AgentLocationReport
+
+	tag  packet.Tag
+	ue   core.UE
+	cls  []core.Classifier
+	hr   core.HandoffResult
+	addr packet.Addr
+	err  error
+
+	done chan struct{}
+}
+
+var workPool = sync.Pool{New: func() any { return &work{done: make(chan struct{}, 1)} }}
+
+func getWork(kind opKind) *work {
+	w := workPool.Get().(*work)
+	w.kind = kind
+	return w
+}
+
+func putWork(w *work) {
+	w.imsi = ""
+	w.ues, w.reports, w.cls = nil, nil, nil
+	w.mig = core.MigratedUE{}
+	w.hr = core.HandoffResult{}
+	w.err = nil
+	workPool.Put(w)
+}
+
+// Shard is one partition of the control plane: a restricted controller
+// owning a disjoint set of base stations, fed by a bounded work queue that
+// its workers drain in batches. The controller itself stays internally
+// locked, but with per-shard queues that lock is only ever contended by
+// this shard's few workers — never across shards.
+type Shard struct {
+	ID   int
+	Ctrl *core.Controller
+	// Stations is the disjoint base-station set this shard owned at
+	// construction (failover may extend the live set; see Ctrl.Stations).
+	Stations []packet.BSID
+
+	queue  chan *work
+	batch  int
+	dead   atomic.Bool
+	served atomic.Uint64
+	wg     sync.WaitGroup
+}
+
+// newShard wires the queue and workers around a restricted controller.
+func newShard(id int, ctrl *core.Controller, stations []packet.BSID, queueLen, workers, batch int) *Shard {
+	s := &Shard{
+		ID:       id,
+		Ctrl:     ctrl,
+		Stations: stations,
+		queue:    make(chan *work, queueLen),
+		batch:    batch,
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Served reports the number of requests this shard has completed.
+func (s *Shard) Served() uint64 { return s.served.Load() }
+
+// Down reports whether the shard has been declared failed.
+func (s *Shard) Down() bool { return s.dead.Load() }
+
+// do runs one work item through the shard's queue and waits for it.
+func (s *Shard) do(w *work) {
+	if s.dead.Load() {
+		w.err = ErrShardDown
+		return
+	}
+	s.queue <- w
+	<-w.done
+}
+
+// worker drains the queue in batches: one blocking receive, then as many
+// non-blocking receives as the batch bound allows. Consecutive path
+// requests inside a batch resolve through a single controller lock
+// acquisition (core.RequestPathBatch).
+func (s *Shard) worker() {
+	defer s.wg.Done()
+	var (
+		batch = make([]*work, 0, s.batch)
+		qs    = make([]core.PathQuery, 0, s.batch)
+		idx   = make([]int, 0, s.batch)
+		ans   = make([]core.PathAnswer, 0, s.batch)
+	)
+	for {
+		w, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], w)
+	drain:
+		for len(batch) < s.batch {
+			select {
+			case w2, ok := <-s.queue:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, w2)
+			default:
+				break drain
+			}
+		}
+		s.serve(batch, &qs, &idx, &ans)
+	}
+}
+
+// serve answers one dequeued batch.
+func (s *Shard) serve(batch []*work, qs *[]core.PathQuery, idx *[]int, ans *[]core.PathAnswer) {
+	if s.dead.Load() {
+		for _, w := range batch {
+			w.err = ErrShardDown
+			w.done <- struct{}{}
+		}
+		return
+	}
+	*qs, *idx = (*qs)[:0], (*idx)[:0]
+	for i, w := range batch {
+		if w.kind == opPath {
+			*qs = append(*qs, core.PathQuery{BS: w.bs, Clause: w.clause})
+			*idx = append(*idx, i)
+		}
+	}
+	if len(*qs) > 0 {
+		*ans = s.Ctrl.RequestPathBatch(*qs, (*ans)[:0])
+		for j, i := range *idx {
+			batch[i].tag, batch[i].err = (*ans)[j].Tag, (*ans)[j].Err
+		}
+	}
+	for _, w := range batch {
+		switch w.kind {
+		case opPath:
+			// answered above
+		case opAttach:
+			w.ue, w.cls, w.err = s.Ctrl.Attach(w.imsi, w.bs)
+		case opHandoff:
+			w.hr, w.err = s.Ctrl.Handoff(w.imsi, w.bs)
+		case opDetach:
+			w.err = s.Ctrl.Detach(w.imsi)
+		case opResolve:
+			w.addr, w.err = s.Ctrl.ResolveLocIP(w.perm)
+		case opExtract:
+			w.mig, w.err = s.Ctrl.ExtractUE(w.imsi)
+		case opAdopt:
+			w.ue, w.cls, w.err = s.Ctrl.AdoptUE(w.mig, w.bs)
+		case opAbsorb:
+			w.err = s.Ctrl.AbsorbStation(w.bs, w.ues)
+		case opRecover:
+			w.err = s.Ctrl.RecoverLocations(w.reports)
+		}
+		w.done <- struct{}{}
+	}
+	s.served.Add(uint64(len(batch)))
+}
+
+// close shuts the queue down and waits for the workers to drain it.
+func (s *Shard) close() {
+	close(s.queue)
+	s.wg.Wait()
+}

@@ -111,6 +111,24 @@ func (k *Kernel) After(d Time, fn func()) *Event {
 	return e
 }
 
+// Every schedules fn to run every interval, starting one interval from now,
+// for as long as fn returns true. The returned event is the *next* pending
+// occurrence only at scheduling time; use the stop-by-returning-false
+// protocol (not Cancel) to end the series.
+func (k *Kernel) Every(interval Time, fn func() bool) (*Event, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("sim: Every interval %v must be positive", interval)
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			k.After(interval, tick)
+		}
+	}
+	e, _ := k.At(k.now+interval, tick) // cannot fail: now+interval > now
+	return e, nil
+}
+
 // Cancel removes a scheduled event. Cancelling an already-fired or
 // already-cancelled event is a no-op that returns false.
 func (k *Kernel) Cancel(e *Event) bool {

@@ -157,3 +157,27 @@ func TestNestedScheduling(t *testing.T) {
 		t.Fatalf("Processed = %d, want 50", k.Processed)
 	}
 }
+
+func TestEvery(t *testing.T) {
+	k := NewKernel(1)
+	var at []Time
+	if _, err := k.Every(Time(10*time.Millisecond), func() bool {
+		at = append(at, k.Now())
+		return len(at) < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if len(at) != 5 {
+		t.Fatalf("fired %d times, want 5", len(at))
+	}
+	for i, got := range at {
+		want := Time((i + 1) * 10 * int(time.Millisecond))
+		if got != want {
+			t.Fatalf("tick %d at %v, want %v", i, got, want)
+		}
+	}
+	if _, err := k.Every(0, func() bool { return false }); err == nil {
+		t.Fatal("Every accepted a zero interval")
+	}
+}
