@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test race vet verify bench-shards clean
+.PHONY: all build test race vet lint fuzz verify bench-shards clean
 
 all: verify
 
@@ -16,9 +17,23 @@ race:
 vet:
 	$(GO) vet ./...
 
+# lint runs the softcell-lint invariant checkers (DESIGN.md §9): lock
+# discipline, determinism, layering, wire-safety, dropped errors.
+lint:
+	$(GO) run ./cmd/softcell-lint ./...
+
+# fuzz gives each wire-codec fuzz target a short budget (the seed corpora
+# under testdata/fuzz also run on every plain `go test`).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzEncodeDecode$$' -fuzztime $(FUZZTIME) ./internal/packet
+	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshal$$' -fuzztime $(FUZZTIME) ./internal/packet
+	$(GO) test -run '^$$' -fuzz '^FuzzEncodeDecode$$' -fuzztime $(FUZZTIME) ./internal/ctrlproto
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/ctrlproto
+
 # verify is the gate every change must pass.
 verify:
 	$(GO) vet ./...
+	$(GO) run ./cmd/softcell-lint ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 

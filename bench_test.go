@@ -238,13 +238,13 @@ func BenchmarkDataplanePacketWalk(b *testing.B) {
 // BenchmarkAlgorithm1Install measures raw policy-path installation
 // throughput (plan + Algorithm 1) on the k=8 topology.
 func BenchmarkAlgorithm1Install(b *testing.B) {
-	r, err := simexp.Run(simexp.Params{K: 8, N: 50, M: 5, Seed: 1})
+	r, err := simexp.Run(simexp.Params{K: 8, N: 50, M: 5, Seed: 1, Now: time.Now})
 	if err != nil {
 		b.Fatal(err)
 	}
 	perPath := r.Elapsed.Seconds() / float64(r.PathsInstalled)
 	for i := 1; i < b.N; i++ {
-		if r2, err := simexp.Run(simexp.Params{K: 8, N: 50, M: 5, Seed: 1}); err != nil {
+		if r2, err := simexp.Run(simexp.Params{K: 8, N: 50, M: 5, Seed: 1, Now: time.Now}); err != nil {
 			b.Fatal(err)
 		} else {
 			perPath = r2.Elapsed.Seconds() / float64(r2.PathsInstalled)

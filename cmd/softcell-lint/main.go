@@ -1,0 +1,84 @@
+// softcell-lint loads and type-checks every package in the repository and
+// runs the repo-specific invariant analyzers (lockcheck, determinism,
+// layering, wiresafe, errdrop) over them. It prints one diagnostic per
+// line as "file:line: [rule] message" and exits non-zero when anything is
+// found, so `make verify` can gate on it. Built on the standard library
+// only; works offline.
+//
+// Usage:
+//
+//	softcell-lint [-list] [packages]
+//
+// The package argument is accepted for familiarity ("./..."), but the tool
+// always analyzes the whole module containing the working directory: the
+// invariants are whole-program properties (wire reachability, layering).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "softcell-lint:", err)
+		os.Exit(2)
+	}
+	loader := lint.NewLoader(root, "repro")
+	prog, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "softcell-lint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(prog, lint.DefaultRules(), lint.Analyzers())
+	wd, err := os.Getwd()
+	if err != nil {
+		wd = "" // diagnostics fall back to absolute paths
+	}
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, name); err == nil && !filepath.IsAbs(rel) {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", name, d.Pos.Line, d.Rule, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "softcell-lint: %d finding(s) in %d packages\n", len(diags), len(prog.Pkgs))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/simexp"
@@ -45,7 +46,7 @@ func main() {
 		tab.AddRow(label, r.BaseStations, r.PathsInstalled, r.Max, r.Median, r.Mean,
 			r.TagsAllocated, r.Elapsed.Seconds())
 	}
-	opt := simexp.SweepOptions{Seed: *seed, Scale: *scale}
+	opt := simexp.SweepOptions{Seed: *seed, Scale: *scale, Now: time.Now}
 
 	var err error
 	switch *sweep {
@@ -56,7 +57,7 @@ func main() {
 		}
 		var r simexp.Result
 		r, err = simexp.Run(simexp.Params{K: *k, N: *n / maxInt(*scale, 1), M: *m, Seed: *seed,
-			StationStride: st, BothDirections: *both, CountAccessSwitches: *all})
+			StationStride: st, BothDirections: *both, CountAccessSwitches: *all, Now: time.Now})
 		if err == nil {
 			label := fmt.Sprintf("k=%d n=%d m=%d", *k, r.Params.N, *m)
 			if st > 1 {
@@ -93,7 +94,7 @@ func main() {
 		})
 	case "ablation":
 		fmt.Printf("DESIGN.md ablations at k=%d n=%d m=%d\n", *k, *n/maxInt(*scale, 1), *m)
-		err = simexp.Ablations(simexp.Params{K: *k, N: *n / maxInt(*scale, 1), M: *m, Seed: *seed},
+		err = simexp.Ablations(simexp.Params{K: *k, N: *n / maxInt(*scale, 1), M: *m, Seed: *seed, Now: time.Now},
 			func(r simexp.AblationResult) { report(r.Name, r.Result) })
 	default:
 		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)

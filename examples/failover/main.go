@@ -32,6 +32,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Serve returns when the listener closes at process exit.
+	//lint:ignore errdrop the server lives until process exit
 	go func() { _ = srv.Serve(ln) }()
 	fmt.Printf("controller serving the control channel on %s\n", ln.Addr())
 
@@ -52,7 +54,9 @@ func main() {
 	// Attach a handful of subscribers through the wire protocol.
 	for i := 0; i < 6; i++ {
 		imsi := fmt.Sprintf("ue-%d", i)
-		_ = nw.Ctrl.RegisterSubscriber(imsi, policy.Attributes{Provider: "A"})
+		if err := nw.Ctrl.RegisterSubscriber(imsi, policy.Attributes{Provider: "A"}); err != nil {
+			log.Fatal(err)
+		}
 		bs := packet.BSID(i % 4)
 		ue, cls, err := clients[bs].Attach(imsi, bs)
 		if err != nil {
@@ -89,7 +93,9 @@ func main() {
 	fmt.Printf("ue-3 recovered at base station %d with LocIP %s (unchanged)\n", after.BS, after.LocIP)
 
 	// The recovered controller keeps serving: a brand-new attach works.
-	_ = nw.Ctrl.RegisterSubscriber("late", policy.Attributes{Provider: "A"})
+	if err := nw.Ctrl.RegisterSubscriber("late", policy.Attributes{Provider: "A"}); err != nil {
+		log.Fatal(err)
+	}
 	ue, _, err := clients[1].Attach("late", 1)
 	if err != nil {
 		log.Fatal(err)

@@ -21,7 +21,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	_ = net.Ctrl.RegisterSubscriber("vera", policy.Attributes{Provider: "A", Plan: "silver"})
+	if err := net.Ctrl.RegisterSubscriber("vera", policy.Attributes{Provider: "A", Plan: "silver"}); err != nil {
+		log.Fatal(err)
+	}
 	ue, err := net.Attach("vera", 0)
 	if err != nil {
 		log.Fatal(err)

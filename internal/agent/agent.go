@@ -72,10 +72,10 @@ type Agent struct {
 	ctrl ControllerClient
 
 	mu      sync.Mutex
-	ues     map[packet.Addr]*ueState // keyed by permanent IP
-	byLoc   map[packet.Addr]*ueState // keyed by LocIP (incl. reserved old ones)
-	inbound map[inboundKey]struct{}  // §7 public-IP bindings this station accepts
-	stats   Stats
+	ues     map[packet.Addr]*ueState // guarded by mu; keyed by permanent IP
+	byLoc   map[packet.Addr]*ueState // guarded by mu; keyed by LocIP (incl. reserved old ones)
+	inbound map[inboundKey]struct{}  // guarded by mu; §7 public-IP bindings this station accepts
+	stats   Stats                    // guarded by mu
 }
 
 // inboundKey identifies an accepted Internet-initiated service binding.
@@ -214,6 +214,8 @@ func (a *Agent) isLocalPerm(dst packet.Addr) bool {
 }
 
 // handleM2M installs the microflows for a carrier-internal destination.
+//
+// caller holds mu
 func (a *Agent) handleM2M(st *ueState, p *packet.Packet) (bool, error) {
 	r, ok := a.ctrl.(LocResolver)
 	if !ok {
@@ -314,6 +316,8 @@ func dscpFor(q policy.QoS) uint8 {
 }
 
 // installMicroflows writes the pair of exact-match rules for one flow.
+//
+// caller holds mu
 func (a *Agent) installMicroflows(st *ueState, orig packet.FlowKey, tag packet.Tag, qos policy.QoS) error {
 	if tag > a.plan.MaxTag() {
 		return fmt.Errorf("agent: tag %d does not fit the %d-bit tag field", tag, a.plan.TagBits)

@@ -81,26 +81,42 @@ type Controller struct {
 	gateway  topo.NodeID
 	mbTypes  map[string]topo.MBType
 	permPool packet.Prefix
-	permNext uint32
-	owned    map[packet.BSID]bool // nil = unrestricted
+	permNext uint32               // guarded by mu
+	owned    map[packet.BSID]bool // guarded by mu; nil = unrestricted
 
-	subscribers map[string]policy.Attributes
-	ues         map[string]*UE
-	byLoc       map[packet.Addr]string // LocIP -> IMSI
-	byPerm      map[packet.Addr]string // permanent IP -> IMSI
+	subscribers map[string]policy.Attributes // guarded by mu
+	ues         map[string]*UE               // guarded by mu
+	byLoc       map[packet.Addr]string       // guarded by mu; LocIP -> IMSI
+	byPerm      map[packet.Addr]string       // guarded by mu; permanent IP -> IMSI
 	// reservations holds, per still-reserved old LocIP, the live shortcut
 	// state for in-flight flows of a moved UE (§5.1); retargeted on every
 	// subsequent handoff, removed by ReleaseOldLocIP's soft timeout.
-	reservations map[packet.Addr]*reservation
-	nextUEID     map[packet.BSID]packet.UEID
-	freeUEIDs    map[packet.BSID][]packet.UEID
-	paths        map[pathKey]*InstalledPath
+	reservations map[packet.Addr]*reservation  // guarded by mu
+	nextUEID     map[packet.BSID]packet.UEID   // guarded by mu
+	freeUEIDs    map[packet.BSID][]packet.UEID // guarded by mu
+	paths        map[pathKey]*InstalledPath    // guarded by mu
 
-	// Stats
+	// Stats; snapshot through Stats() when not already under the lock.
+	Attaches uint64 // guarded by mu
+	Handoffs uint64 // guarded by mu
+	PathAsks uint64 // guarded by mu
+	PathMiss uint64 // guarded by mu; asks that had to install a new path
+}
+
+// ControllerStats is a point-in-time snapshot of the controller's counters.
+type ControllerStats struct {
 	Attaches uint64
 	Handoffs uint64
 	PathAsks uint64
-	PathMiss uint64 // asks that had to install a new path
+	PathMiss uint64
+}
+
+// Stats snapshots the controller's counters under the lock.
+func (c *Controller) Stats() ControllerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ControllerStats{Attaches: c.Attaches, Handoffs: c.Handoffs,
+		PathAsks: c.PathAsks, PathMiss: c.PathMiss}
 }
 
 // NewController wires a controller over the topology.
@@ -187,6 +203,8 @@ func (c *Controller) RegisterSubscriber(imsi string, attr policy.Attributes) err
 }
 
 // allocLocIP assigns a fresh (UEID, LocIP) at a base station.
+//
+// caller holds mu
 func (c *Controller) allocLocIP(bs packet.BSID) (packet.UEID, packet.Addr, error) {
 	var id packet.UEID
 	if free := c.freeUEIDs[bs]; len(free) > 0 {
@@ -253,6 +271,9 @@ func (c *Controller) Attach(imsi string, bs packet.BSID) (UE, []Classifier, erro
 	return *ue, c.classifiersLocked(ue), nil
 }
 
+// persistUELocked writes a UE record to the replicated store.
+//
+// caller holds mu
 func (c *Controller) persistUELocked(ue *UE) error {
 	blob, err := json.Marshal(ue)
 	if err != nil {
@@ -264,6 +285,8 @@ func (c *Controller) persistUELocked(ue *UE) error {
 
 // classifiersLocked compiles the service policy for one UE, resolving tags
 // for clauses whose policy paths already exist at the UE's base station.
+//
+// caller holds mu
 func (c *Controller) classifiersLocked(ue *UE) []Classifier {
 	entries := c.Policy.Compile(ue.Attr)
 	out := make([]Classifier, 0, len(entries))
@@ -290,6 +313,9 @@ func (c *Controller) RequestPath(bs packet.BSID, clause int) (packet.Tag, error)
 	return c.requestPathLocked(bs, clause)
 }
 
+// requestPathLocked is RequestPath's body, shared with the batched form.
+//
+// caller holds mu
 func (c *Controller) requestPathLocked(bs packet.BSID, clause int) (packet.Tag, error) {
 	c.PathAsks++
 	if !c.ownsLocked(bs) {

@@ -43,6 +43,8 @@ func (c *Controller) RecoverSwitch(n topo.NodeID) (FailureReport, error) {
 
 // recomputeLocked re-plans every cached path over the current topology and
 // rebuilds the installer from scratch.
+//
+// caller holds mu
 func (c *Controller) recomputeLocked(rep FailureReport) (FailureReport, error) {
 	// Fresh planner: its distance fields and trees reference the old graph.
 	c.Planner = routing.NewPlanner(c.T)

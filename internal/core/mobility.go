@@ -141,6 +141,8 @@ type reservation struct {
 // retargetReservationsLocked points every reserved LocIP of a UE at its
 // newest station: old shortcuts come down, fresh ones (from each cached
 // path's branch point at the LocIP's origin station) go in.
+//
+// caller holds mu
 func (c *Controller) retargetReservationsLocked(imsi string, newAccess topo.NodeID) []*Shortcut {
 	var all []*Shortcut
 	for loc, rsv := range c.reservations {

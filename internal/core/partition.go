@@ -20,7 +20,9 @@ import (
 // dispatcher uses it to detect misrouted requests after a ring change.
 var ErrNotOwned = errors.New("base station not owned by this controller")
 
-// ownsLocked reports whether the controller serves bs. Must hold c.mu.
+// ownsLocked reports whether the controller serves bs.
+//
+// caller holds mu
 func (c *Controller) ownsLocked(bs packet.BSID) bool {
 	return c.owned == nil || c.owned[bs]
 }

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// Determinism forbids nondeterminism sources in the virtual-clock packages:
+// the simulator stack must be byte-replayable from its seed, so wall-clock
+// reads (time.Now and friends) and the global, process-seeded math/rand
+// functions are banned there. Seeded sources (rand.New(rand.NewSource(s)))
+// and the time package's types/constants stay available.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "virtual-clock packages must not read the wall clock or the global rand source",
+	Run:  runDeterminism,
+}
+
+// forbiddenTimeFuncs are the wall-clock entry points of package time.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true, "Sleep": true,
+}
+
+// allowedRandFuncs are the package-level math/rand functions that build
+// explicitly seeded sources rather than drawing from the global one.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runDeterminism(prog *Program, rules *Rules, report Reporter) {
+	for _, pkg := range prog.Pkgs {
+		if !matchPkg(rules.DetermPkgs, pkg.Path) {
+			continue
+		}
+		for id, obj := range pkg.Info.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				continue
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				continue // methods (e.g. (*rand.Rand).Intn, Time.Sub) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTimeFuncs[fn.Name()] {
+					report(id.Pos(),
+						"time.%s reads the wall clock in a deterministic package; use the sim kernel's virtual clock or inject a clock", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRandFuncs[fn.Name()] {
+					report(id.Pos(),
+						"global rand.%s draws from the process-seeded source; use a seeded *rand.Rand", fn.Name())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package lint is softcell-lint: a static-analysis framework, built on the
+// standard library alone (go/parser, go/ast, go/types with the source
+// importer), that loads and type-checks the whole repository and runs a set
+// of repo-specific analyzers over it. The analyzers machine-check the
+// invariants the concurrent control plane depends on — lock discipline,
+// simulator determinism, package layering, wire-format encodability, and
+// no silently dropped errors. See DESIGN.md "Static invariants".
+//
+// Diagnostics print as "file:line: [rule] message"; a finding can be
+// suppressed with a same- or preceding-line comment
+//
+//	//lint:ignore <rule> <reason>
+//
+// where the reason is mandatory and an ignore that suppresses nothing is
+// itself a finding, so stale escapes cannot accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+}
+
+// Reporter emits one finding for the analyzer it was handed to.
+type Reporter func(pos token.Pos, format string, args ...any)
+
+// Analyzer is one pluggable invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(prog *Program, rules *Rules, report Reporter)
+}
+
+// Analyzers is the full production set, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{LockCheck, Determinism, Layering, WireSafe, ErrDrop}
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos    token.Position
+	rule   string
+	reason string
+	used   bool
+}
+
+// ignoreKey addresses directives by the source line they cover.
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// collectIgnores parses every //lint:ignore directive in the program.
+// A directive covers its own line and the line after it, so it works both
+// as a trailing comment and as a comment line above the finding. Malformed
+// directives are reported immediately under the pseudo-rule "lint".
+func collectIgnores(prog *Program, report func(Diagnostic)) map[ignoreKey][]*ignoreDirective {
+	out := make(map[ignoreKey][]*ignoreDirective)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						report(Diagnostic{Pos: pos, Rule: "lint",
+							Message: "malformed directive: want //lint:ignore <rule> <reason>"})
+						continue
+					}
+					d := &ignoreDirective{pos: pos, rule: fields[0], reason: strings.Join(fields[1:], " ")}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						k := ignoreKey{pos.Filename, line}
+						out[k] = append(out[k], d)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the program and returns the surviving
+// diagnostics sorted by position. Ignored findings are dropped; unused or
+// malformed ignore directives are themselves reported.
+func Run(prog *Program, rules *Rules, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	ignores := collectIgnores(prog, func(d Diagnostic) { diags = append(diags, d) })
+	for _, a := range analyzers {
+		name := a.Name
+		report := func(pos token.Pos, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Pos:     prog.Fset.Position(pos),
+				Rule:    name,
+				Message: fmt.Sprintf(format, args...),
+			})
+		}
+		a.Run(prog, rules, report)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		if d.Rule != "lint" {
+			for _, ig := range ignores[ignoreKey{d.Pos.Filename, d.Pos.Line}] {
+				if ig.rule == d.Rule {
+					ig.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+	seen := make(map[*ignoreDirective]bool)
+	for _, list := range ignores {
+		for _, ig := range list {
+			if seen[ig] || ig.used {
+				continue
+			}
+			seen[ig] = true
+			diags = append(diags, Diagnostic{Pos: ig.pos, Rule: "lint",
+				Message: fmt.Sprintf("unused //lint:ignore %s directive", ig.rule)})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// matchPkg reports whether path matches any entry: exact, or prefix when
+// the entry ends in "/".
+func matchPkg(entries []string, path string) bool {
+	for _, e := range entries {
+		if e == path || (strings.HasSuffix(e, "/") && strings.HasPrefix(path, e)) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDocHas reports whether a function's doc comment contains the phrase.
+func funcDocHas(fn *ast.FuncDecl, phrase string) bool {
+	return fn.Doc != nil && strings.Contains(fn.Doc.Text(), phrase)
+}

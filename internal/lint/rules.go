@@ -1,0 +1,162 @@
+package lint
+
+// Rules parameterise the analyzers: which packages each invariant covers
+// and the explicit escape lists. Production rules live in DefaultRules;
+// tests drive the analyzers over fixture packages with small rule tables.
+type Rules struct {
+	// LockPkgs are the packages whose "// guarded by <mu>" field
+	// annotations lockcheck enforces. Entries ending in "/" are prefixes.
+	LockPkgs []string
+
+	// DetermPkgs are the virtual-clock packages where wall-clock time and
+	// the global math/rand source are forbidden.
+	DetermPkgs []string
+
+	// LayerScope is the import-path prefix under which every package must
+	// have a Layer entry; Layer maps a package to the module-local imports
+	// it is allowed.
+	LayerScope string
+	Layer      map[string][]string
+
+	// Construct restricts who may call specific constructors.
+	Construct []ConstructRule
+
+	// WireRootPkgs are scanned for message roots: every exported struct
+	// whose name carries one of WireRootSuffixes. WireRoots adds explicit
+	// "pkgpath.Type" roots outside those packages. WireIfaceAllow lists
+	// interface types with a registered concrete set (encodable by
+	// convention); WireTypeAllow lists named types accepted as encodable
+	// even though their fields are unexported (custom marshalers).
+	WireRootPkgs     []string
+	WireRootSuffixes []string
+	WireRoots        []string
+	WireIfaceAllow   []string
+	WireTypeAllow    []string
+
+	// ErrDrop allowlist: callee base names (any receiver), fully
+	// qualified package functions ("fmt.Println"), and receiver types
+	// ("bytes.Buffer") whose dropped errors are accepted as best-effort
+	// by convention.
+	ErrAllowNames     []string
+	ErrAllowFuncs     []string
+	ErrAllowRecvTypes []string
+}
+
+// ConstructRule says only Allowed packages (entries ending in "/" are
+// prefixes) may reference Func ("pkgpath.Name").
+type ConstructRule struct {
+	Func    string
+	Allowed []string
+}
+
+// DefaultRules is the production rule set for this repository.
+func DefaultRules() *Rules {
+	return &Rules{
+		LockPkgs: []string{
+			"repro/internal/agent",
+			"repro/internal/core",
+			"repro/internal/shard",
+			"repro/internal/store",
+			"repro/internal/switchsim",
+		},
+		DetermPkgs: []string{
+			"repro/internal/scenario",
+			"repro/internal/sim",
+			"repro/internal/simexp",
+			"repro/internal/switchsim",
+			"repro/internal/workload",
+		},
+		// The DESIGN.md dependency order: leaves first. A package may only
+		// import the module-local packages listed here; adding an import
+		// means widening the architecture on purpose, in this table.
+		LayerScope: "repro/internal/",
+		Layer: map[string][]string{
+			"repro/internal/packet":  {},
+			"repro/internal/metrics": {},
+			"repro/internal/policy":  {},
+			"repro/internal/store":   {},
+			"repro/internal/sim":     {},
+			"repro/internal/lint":    {},
+			"repro/internal/topo":    {"repro/internal/packet"},
+			"repro/internal/switchsim": {
+				"repro/internal/packet",
+			},
+			"repro/internal/mbox": {
+				"repro/internal/packet", "repro/internal/topo",
+			},
+			"repro/internal/routing": {
+				"repro/internal/packet", "repro/internal/topo",
+			},
+			"repro/internal/workload": {
+				"repro/internal/metrics",
+			},
+			"repro/internal/core": {
+				"repro/internal/metrics", "repro/internal/packet",
+				"repro/internal/policy", "repro/internal/routing",
+				"repro/internal/store", "repro/internal/topo",
+			},
+			"repro/internal/agent": {
+				"repro/internal/core", "repro/internal/packet",
+				"repro/internal/policy", "repro/internal/switchsim",
+			},
+			"repro/internal/ctrlproto": {
+				"repro/internal/core", "repro/internal/packet",
+				"repro/internal/policy", "repro/internal/topo",
+			},
+			"repro/internal/dataplane": {
+				"repro/internal/agent", "repro/internal/core",
+				"repro/internal/mbox", "repro/internal/packet",
+				"repro/internal/policy", "repro/internal/switchsim",
+				"repro/internal/topo",
+			},
+			"repro/internal/scenario": {
+				"repro/internal/core", "repro/internal/dataplane",
+				"repro/internal/mbox", "repro/internal/packet",
+				"repro/internal/policy", "repro/internal/sim",
+				"repro/internal/topo",
+			},
+			"repro/internal/shard": {
+				"repro/internal/core", "repro/internal/ctrlproto",
+				"repro/internal/packet", "repro/internal/policy",
+				"repro/internal/sim", "repro/internal/store",
+				"repro/internal/topo",
+			},
+			"repro/internal/simexp": {
+				"repro/internal/core", "repro/internal/packet",
+				"repro/internal/routing", "repro/internal/topo",
+			},
+			"repro/internal/cbench": {
+				"repro/internal/agent", "repro/internal/core",
+				"repro/internal/ctrlproto", "repro/internal/packet",
+				"repro/internal/policy", "repro/internal/shard",
+				"repro/internal/switchsim", "repro/internal/topo",
+			},
+		},
+		Construct: []ConstructRule{
+			// Everything else goes through the softcell facade or the shard
+			// runtime, which own sub-space partitioning (disjoint pools).
+			{
+				Func: "repro/internal/core.NewController",
+				Allowed: []string{
+					"repro", "repro/cmd/",
+					"repro/internal/cbench", "repro/internal/shard",
+				},
+			},
+		},
+		WireRootPkgs:     []string{"repro/internal/ctrlproto"},
+		WireRootSuffixes: []string{"Request", "Reply", "Report", "Notify"},
+		WireRoots:        []string{"repro/internal/core.AgentLocationReport"},
+		ErrAllowNames: []string{"Close"},
+		ErrAllowFuncs: []string{
+			"fmt.Print", "fmt.Printf", "fmt.Println",
+			"fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln",
+		},
+		// ctrlproto's conn replies are best-effort by design: a send failure
+		// marks the connection dead via c.fail and the read loop tears it
+		// down — there is nothing further for the caller to do.
+		ErrAllowRecvTypes: []string{
+			"bytes.Buffer", "strings.Builder",
+			"repro/internal/ctrlproto.conn",
+		},
+	}
+}

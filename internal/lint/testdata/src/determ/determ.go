@@ -1,0 +1,35 @@
+// Package determ is a determinism fixture: wall-clock reads and the global
+// math/rand source are forbidden, seeded sources are fine.
+package determ
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock, which a replay cannot reproduce.
+func Stamp() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// Age measures against the wall clock.
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since reads the wall clock"
+}
+
+// Roll draws from the global, process-seeded source.
+func Roll() int {
+	return rand.Intn(6) // want `global rand.Intn draws from the process-seeded source`
+}
+
+// Seeded is the approved pattern: an explicitly seeded source, whose
+// methods (not the package-level functions) supply the randomness.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Elapse uses time's types and arithmetic, which are pure and allowed.
+func Elapse(a, b time.Time) time.Duration {
+	return b.Sub(a) + 2*time.Second
+}

@@ -1,0 +1,39 @@
+// Package errdrop is an errdrop fixture: every dropped-error shape, the
+// allowlist, and the //lint:ignore escape hatch.
+package errdrop
+
+import "errors"
+
+// fail always errors.
+func fail() error { return errors.New("boom") }
+
+// pair returns a value and an error.
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// File is closable; Close is allowlisted by name in the fixture rules.
+type File struct{}
+
+// Close never fails here.
+func (*File) Close() error { return nil }
+
+// Drops collects every dropped-error shape the analyzer flags.
+func Drops() {
+	_ = fail()     // want "fail returns an error that is discarded"
+	fail()         // want "fail returns an error that is discarded"
+	n, _ := pair() // want "pair returns an error that is discarded"
+	_ = n
+	defer fail() // want "fail returns an error that is discarded"
+	go fail()    // want "fail returns an error that is discarded"
+}
+
+// Accepted shows the allowlist, the escape hatch, and honest handling.
+func Accepted() error {
+	f := &File{}
+	_ = f.Close()
+	//lint:ignore errdrop demonstrates the escape hatch
+	_ = fail()
+	if v, err := pair(); err == nil {
+		_ = v
+	}
+	return fail()
+}

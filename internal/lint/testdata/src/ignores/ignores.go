@@ -1,0 +1,15 @@
+// Package ignores exercises the directive machinery: a well-formed ignore
+// that suppresses nothing, and a malformed one. Both are findings.
+package ignores
+
+// Twiddle carries a stale suppression.
+func Twiddle() int {
+	//lint:ignore errdrop this suppresses nothing
+	return 1
+}
+
+// Fiddle carries a directive with no rule or reason.
+func Fiddle() int {
+	//lint:ignore
+	return 2
+}

@@ -1,0 +1,5 @@
+// Package layera is the leaf layer of the layering fixture.
+package layera
+
+// Unit is the leaf's exported constant.
+const Unit = 1

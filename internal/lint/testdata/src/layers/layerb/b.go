@@ -1,0 +1,14 @@
+// Package layerb sits above layera and is only allowed to import it.
+package layerb
+
+import (
+	"fixture/layers/layera"
+	"fixture/layers/layerc" // want "may not import fixture/layers/layerc"
+)
+
+// Span combines the leaf constant with a widget built through the
+// restricted constructor.
+func Span() int {
+	w := layerc.NewWidget(layera.Unit) // want "only fixture/layers/layera may call"
+	return w.ID + layera.Unit
+}

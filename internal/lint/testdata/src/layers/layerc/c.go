@@ -1,0 +1,12 @@
+// Package layerc is deliberately missing from the fixture's layering table.
+package layerc // want "missing from the layering rules table"
+
+// Widget is built by the restricted constructor.
+type Widget struct {
+	ID int
+}
+
+// NewWidget is the constructor the fixture restricts to layera.
+func NewWidget(id int) *Widget {
+	return &Widget{ID: id}
+}

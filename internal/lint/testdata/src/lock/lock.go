@@ -1,0 +1,68 @@
+// Package lock is a lockcheck fixture: guarded-field annotations, the
+// caller-holds escape, and the self-deadlock heuristic.
+package lock
+
+import "sync"
+
+// Counter is a mutex-guarded counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	ok int
+}
+
+// Inc acquires the mutex before touching the guarded field.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Peek reads the guarded field without the lock.
+func (c *Counter) Peek() int {
+	return c.n // want "Counter.n is guarded by mu"
+}
+
+// Unguarded may touch ok freely: it carries no annotation.
+func (c *Counter) Unguarded() int {
+	return c.ok
+}
+
+// addLocked is exempted by annotation.
+//
+// caller holds mu
+func (c *Counter) addLocked(d int) {
+	c.n += d
+}
+
+// Add locks and delegates to the annotated helper.
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(d)
+}
+
+// Double calls a locking method while already holding the mutex.
+func (c *Counter) Double() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Inc() // want "self-deadlock"
+}
+
+// Drain reads the guarded field from a plain function, no lock in sight.
+func Drain(c *Counter) int {
+	return c.n // want "Counter.n is guarded by mu"
+}
+
+// DrainLocked does the same but visibly acquires the mutex first.
+func DrainLocked(c *Counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Sloppy names a guard that is not a mutex in the struct.
+type Sloppy struct {
+	data int // guarded by lock; want "not a sync mutex"
+	lock int
+}

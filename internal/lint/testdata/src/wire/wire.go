@@ -1,0 +1,54 @@
+// Package wire is a wiresafe fixture: message roots by suffix and by
+// explicit registration, with every non-encodable field shape represented.
+package wire
+
+// Namer is an interface nobody registered a concrete set for.
+type Namer interface{ Name() string }
+
+// Classifier is an interface the fixture rules allowlist (registered
+// concrete set on both ends).
+type Classifier interface{ Class() int }
+
+// Inner rides inside a message; its unexported field simply does not
+// travel, which is fine as long as something exported remains.
+type Inner struct {
+	Value  int
+	opaque int
+}
+
+// hidden has no exported fields at all: it encodes as nothing.
+type hidden struct {
+	secret int
+}
+
+// Blob also has only unexported fields but is allowlisted (it carries a
+// custom marshaler by convention).
+type Blob struct {
+	raw []byte
+}
+
+// StatusReport is a message root by suffix.
+type StatusReport struct {
+	ID      uint64
+	Done    chan struct{} // want "chan field cannot cross the wire"
+	Hook    func()        // want "func field cannot cross the wire"
+	Any     interface{}   // want "interface field has no registered concrete set"
+	Who     Namer         // want "interface type fixture/wire.Namer has no registered concrete set"
+	Rule    Classifier
+	Payload Inner
+	Dark    hidden // want "has only unexported fields and encodes as nothing"
+	Data    Blob
+	Tags    []string
+	ByID    map[uint64]*Inner
+}
+
+// SideChannel does not match any message suffix; the fixture registers it
+// as an explicit wire root.
+type SideChannel struct {
+	C chan int // want "chan field cannot cross the wire"
+}
+
+// Plain matches no suffix and is not registered, so nobody checks it.
+type Plain struct {
+	Ch chan int
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WireSafe walks every struct type reachable from the control protocol's
+// message roots and checks that each field can actually cross the wire:
+// no func or chan fields, no interface fields without a registered
+// concrete set, and no fields whose struct type exposes nothing (a struct
+// with only unexported fields encodes as {} and silently loses state).
+//
+// Roots are the exported structs in the wire packages whose names carry a
+// message suffix (Request/Reply/Report/...), plus explicitly registered
+// types; reachability follows exported fields through pointers, slices,
+// arrays and maps, across packages.
+var WireSafe = &Analyzer{
+	Name: "wiresafe",
+	Doc:  "structs reachable from ctrlproto message types must be encodable",
+	Run:  runWireSafe,
+}
+
+func runWireSafe(prog *Program, rules *Rules, report Reporter) {
+	w := &wireWalker{prog: prog, rules: rules, report: report, seen: make(map[types.Type]bool)}
+	for _, pkg := range prog.Pkgs {
+		if !matchPkg(rules.WireRootPkgs, pkg.Path) {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			obj, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || !obj.Exported() || obj.IsAlias() {
+				continue
+			}
+			if !hasSuffix(name, rules.WireRootSuffixes) {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Struct); ok {
+				w.checkType(obj.Type(), obj.Pos(), pkg.Path+"."+name)
+			}
+		}
+	}
+	for _, root := range rules.WireRoots {
+		dot := strings.LastIndex(root, ".")
+		if dot < 0 {
+			continue
+		}
+		pkg := prog.Lookup(root[:dot])
+		if pkg == nil {
+			continue
+		}
+		if obj, ok := pkg.Types.Scope().Lookup(root[dot+1:]).(*types.TypeName); ok {
+			w.checkType(obj.Type(), obj.Pos(), root)
+		}
+	}
+}
+
+func hasSuffix(name string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+type wireWalker struct {
+	prog   *Program
+	rules  *Rules
+	report Reporter
+	seen   map[types.Type]bool
+}
+
+// typeName renders a named type as "pkgpath.Name" for allowlist matching
+// and messages.
+func typeName(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// checkType validates one type reachable at path; pos is where to report
+// (the referencing field, or the root type's declaration).
+func (w *wireWalker) checkType(t types.Type, pos token.Pos, path string) {
+	switch t := t.(type) {
+	case *types.Basic:
+		if t.Kind() == types.UnsafePointer || t.Kind() == types.Uintptr {
+			w.report(pos, "%s: %s is not encodable", path, t)
+		}
+	case *types.Pointer:
+		w.checkType(t.Elem(), pos, path)
+	case *types.Slice:
+		w.checkType(t.Elem(), pos, path)
+	case *types.Array:
+		w.checkType(t.Elem(), pos, path)
+	case *types.Map:
+		w.checkType(t.Key(), pos, path)
+		w.checkType(t.Elem(), pos, path)
+	case *types.Chan:
+		w.report(pos, "%s: chan field cannot cross the wire", path)
+	case *types.Signature:
+		w.report(pos, "%s: func field cannot cross the wire", path)
+	case *types.Interface:
+		w.report(pos, "%s: interface field has no registered concrete set", path)
+	case *types.Named:
+		name := typeName(t)
+		if matchPkg(w.rules.WireTypeAllow, name) {
+			return
+		}
+		if _, ok := t.Underlying().(*types.Interface); ok {
+			if !matchPkg(w.rules.WireIfaceAllow, name) {
+				w.report(pos, "%s: interface type %s has no registered concrete set", path, name)
+			}
+			return
+		}
+		if w.seen[t] {
+			return
+		}
+		w.seen[t] = true
+		if st, ok := t.Underlying().(*types.Struct); ok {
+			w.checkStruct(st, pos, path, name)
+			return
+		}
+		w.checkType(t.Underlying(), pos, path)
+	case *types.Struct:
+		if w.seen[t] {
+			return
+		}
+		w.seen[t] = true
+		w.checkStruct(t, pos, path, "")
+	case *types.Alias:
+		w.checkType(types.Unalias(t), pos, path)
+	default:
+		w.report(pos, "%s: %s is not encodable", path, t)
+	}
+}
+
+// checkStruct validates a struct's fields: at least one exported field when
+// it has any, and every exported field recursively encodable.
+func (w *wireWalker) checkStruct(st *types.Struct, pos token.Pos, path, name string) {
+	exported := 0
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Exported() {
+			exported++
+		}
+	}
+	if st.NumFields() > 0 && exported == 0 {
+		label := name
+		if label == "" {
+			label = "anonymous struct"
+		}
+		w.report(pos, "%s: %s has only unexported fields and encodes as nothing", path, label)
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue // unexported fields do not travel; exported ones must be clean
+		}
+		sub := path
+		if name != "" {
+			sub = fmt.Sprintf("%s -> %s.%s", path, shortName(name), f.Name())
+		}
+		w.checkType(f.Type(), f.Pos(), sub)
+	}
+}
+
+// shortName trims the package path off "pkg/path.Type".
+func shortName(qualified string) string {
+	if i := strings.LastIndex(qualified, "/"); i >= 0 {
+		return qualified[i+1:]
+	}
+	return qualified
+}

@@ -34,6 +34,16 @@ func (c *CDF) AddN(v float64, n int) {
 // Len reports the number of samples.
 func (c *CDF) Len() int { return len(c.samples) }
 
+// Samples returns a sorted copy of every observation. It exists so callers
+// can serialise a distribution byte-exactly — the determinism regression
+// tests compare two same-seed runs through it.
+func (c *CDF) Samples() []float64 {
+	c.sort()
+	out := make([]float64, len(c.samples))
+	copy(out, c.samples)
+	return out
+}
+
 func (c *CDF) sort() {
 	if !c.sorted {
 		sort.Float64s(c.samples)

@@ -1,0 +1,91 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzEncodeDecode round-trips arbitrary header fields and payloads through
+// MarshalBinary/UnmarshalBinary: every packet the marshaller accepts must
+// decode back to the same packet, and re-encoding the decoded packet must
+// reproduce the wire bytes exactly.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(uint32(0x0A000001), uint32(0x01010101), uint16(40000), uint16(80),
+		byte(ProtoTCP), byte(64), byte(1), byte(0), uint32(7), []byte("hello"))
+	f.Add(uint32(0), uint32(0), uint16(0), uint16(0),
+		byte(ProtoUDP), byte(0), byte(0), byte(0), uint32(0), []byte{})
+	f.Add(uint32(0xFFFFFFFF), uint32(0xFFFFFFFF), uint16(0xFFFF), uint16(0xFFFF),
+		byte(255), byte(255), byte(255), byte(255), uint32(0xFFFFFFFF), bytes.Repeat([]byte{0xAA}, 64))
+	f.Fuzz(func(t *testing.T, src, dst uint32, sport, dport uint16, proto, ttl, app, dscp byte, seq uint32, payload []byte) {
+		if len(payload) > 0xFFFF {
+			payload = payload[:0xFFFF]
+		}
+		in := Packet{
+			Src: Addr(src), Dst: Addr(dst), SrcPort: sport, DstPort: dport,
+			Proto: Proto(proto), TTL: ttl, App: app, DSCP: dscp, Seq: seq,
+			Payload: payload,
+		}
+		wire, err := in.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal rejected an in-range packet: %v", err)
+		}
+		var out Packet
+		if err := out.UnmarshalBinary(wire); err != nil {
+			t.Fatalf("unmarshal of marshalled bytes: %v", err)
+		}
+		if out.Src != in.Src || out.Dst != in.Dst || out.SrcPort != in.SrcPort ||
+			out.DstPort != in.DstPort || out.Proto != in.Proto || out.TTL != in.TTL ||
+			out.App != in.App || out.DSCP != in.DSCP || out.Seq != in.Seq {
+			t.Fatalf("header round-trip mismatch:\n in=%+v\nout=%+v", in, out)
+		}
+		if !bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("payload round-trip mismatch: in=%x out=%x", in.Payload, out.Payload)
+		}
+		wire2, err := out.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(wire, wire2) {
+			t.Fatalf("re-encoded bytes differ:\n first=%x\nsecond=%x", wire, wire2)
+		}
+	})
+}
+
+// FuzzUnmarshal feeds arbitrary bytes to the decoder: it must either reject
+// them with one of the documented errors or produce a packet whose
+// re-encoding decodes back to the same packet (trailing garbage beyond the
+// declared payload length is deliberately ignored, so the raw input is not
+// compared byte-for-byte).
+func FuzzUnmarshal(f *testing.F) {
+	valid, _ := (&Packet{
+		Src: AddrFrom4(10, 0, 0, 1), Dst: AddrFrom4(1, 1, 1, 1),
+		SrcPort: 40000, DstPort: 80, Proto: ProtoTCP, TTL: 64, Seq: 7,
+		Payload: []byte("abc"),
+	}).MarshalBinary()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0x5C, 0x17, 0x01})
+	f.Add(append(append([]byte{}, valid...), 0xDE, 0xAD))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Packet
+		err := p.UnmarshalBinary(data)
+		if err != nil {
+			if !errors.Is(err, ErrShortPacket) && !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrBadVersion) {
+				t.Fatalf("undocumented decode error: %v", err)
+			}
+			return
+		}
+		wire, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of a decoded packet: %v", err)
+		}
+		var q Packet
+		if err := q.UnmarshalBinary(wire); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if p.Flow() != q.Flow() || p.Seq != q.Seq || p.TTL != q.TTL || !bytes.Equal(p.Payload, q.Payload) {
+			t.Fatalf("decode/encode/decode mismatch:\n p=%+v\n q=%+v", p, q)
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestRunDeterministic runs the same schedule twice on fresh networks and
+// requires byte-identical event traces (and equal stats): the scenario must
+// be a pure function of its seed, or the simulation figures would not be
+// reproducible. Any map-iteration or wall-clock dependence sneaking into the
+// control plane shows up here as a trace diff.
+func TestRunDeterministic(t *testing.T) {
+	run := func() (string, Stats) {
+		var buf bytes.Buffer
+		r, err := New(testNetwork(t, 4, 7), Params{
+			Seed:     11,
+			Duration: sim.Time(20 * time.Second),
+			Trace:    &buf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), st
+	}
+	trace1, stats1 := run()
+	trace2, stats2 := run()
+	if trace1 == "" {
+		t.Fatal("empty event trace: the schedule produced no events")
+	}
+	if stats1 != stats2 {
+		t.Errorf("stats differ across same-seed runs:\n first=%+v\nsecond=%+v", stats1, stats2)
+	}
+	if trace1 != trace2 {
+		l1, l2 := splitLines(trace1), splitLines(trace2)
+		n := len(l1)
+		if len(l2) < n {
+			n = len(l2)
+		}
+		for i := 0; i < n; i++ {
+			if l1[i] != l2[i] {
+				t.Fatalf("traces diverge at line %d:\n first=%q\nsecond=%q", i+1, l1[i], l2[i])
+			}
+		}
+		t.Fatalf("traces differ in length: %d vs %d lines", len(l1), len(l2))
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		out = append(out, s[:i])
+		if i < len(s) {
+			i++
+		}
+		s = s[i:]
+	}
+	return out
+}

@@ -10,6 +10,7 @@ package scenario
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
@@ -30,6 +31,13 @@ type Params struct {
 	HandoffRatePerSec float64  // handoff rate per attached UE (default 0.1)
 	DetachRatePerSec  float64  // detach rate per attached UE (default 0.02)
 	ProbeEvery        sim.Time // re-exercise a random existing flow (default 500ms)
+
+	// Trace, when set, receives one line per simulated event (attach, flow,
+	// handoff, detach, probe) stamped with its virtual time. The schedule is
+	// a pure function of Seed and the other parameters, so two runs with
+	// equal Params produce byte-identical traces; the determinism regression
+	// test asserts exactly that.
+	Trace io.Writer
 }
 
 func (p Params) withDefaults() Params {
@@ -140,6 +148,14 @@ func (r *Runner) expo(ratePerSec float64) sim.Time {
 	return sim.Time(float64(time.Second) * r.rng.ExpFloat64() / ratePerSec)
 }
 
+// trace appends one event line to Params.Trace (nil = tracing off).
+func (r *Runner) trace(format string, args ...any) {
+	if r.Params.Trace == nil {
+		return
+	}
+	fmt.Fprintf(r.Params.Trace, "t=%d "+format+"\n", append([]any{int64(r.kernel.Now())}, args...)...)
+}
+
 func (r *Runner) fail(err error) {
 	if r.failed == nil && err != nil {
 		r.failed = fmt.Errorf("scenario at %v: %w", r.kernel.Now(), err)
@@ -158,8 +174,9 @@ func (r *Runner) Run() (Stats, error) {
 		return r.stats, r.failed
 	}
 	r.stats.Violations, r.stats.Connections = r.Net.MiddleboxStats()
-	r.stats.ControllerPathAsks = r.Net.Ctrl.PathAsks
-	r.stats.ControllerMisses = r.Net.Ctrl.PathMiss
+	cs := r.Net.Ctrl.Stats()
+	r.stats.ControllerPathAsks = cs.PathAsks
+	r.stats.ControllerMisses = cs.PathMiss
 	return r.stats, nil
 }
 
@@ -186,6 +203,7 @@ func (r *Runner) attachTick() {
 		r.attached[imsi] = bs
 		r.order = append(r.order, imsi)
 		r.stats.Attaches++
+		r.trace("attach %s bs=%d", imsi, bs)
 		return
 	}
 }
@@ -222,8 +240,10 @@ func (r *Runner) flowTick() {
 	case dataplane.ExitedNet:
 		r.stats.FlowsOpen++
 		r.conns = append(r.conns, conn{imsi: imsi, up: p, wire: sent})
+		r.trace("flow %s %s wire=%s", imsi, p.Flow(), sent.Flow())
 	case dataplane.DroppedAt:
 		r.stats.Denied++
+		r.trace("deny %s %s at=%d", imsi, p.Flow(), res.Last)
 	default:
 		r.fail(fmt.Errorf("flow open ended %s at node %d", res.Disposition, res.Last))
 	}
@@ -245,6 +265,7 @@ func (r *Runner) handoffTick() {
 	}
 	r.attached[imsi] = nb
 	r.stats.Handoffs++
+	r.trace("handoff %s bs=%d->%d", imsi, bs, nb)
 }
 
 func (r *Runner) detachTick() {
@@ -273,6 +294,7 @@ func (r *Runner) detachTick() {
 		}
 	}
 	r.stats.Detaches++
+	r.trace("detach %s", imsi)
 }
 
 // trimHops keeps failure messages readable.
@@ -325,5 +347,7 @@ func (r *Runner) probeTick() {
 	}
 	if ures.Disposition != dataplane.ExitedNet {
 		r.fail(fmt.Errorf("probe upstream for %s: %s at node %d", c.imsi, ures.Disposition, ures.Last))
+		return
 	}
+	r.trace("probe %s wire=%s bs=%d", c.imsi, c.wire.Flow(), bs)
 }

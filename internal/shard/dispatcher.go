@@ -89,7 +89,7 @@ func subPool(pool packet.Prefix, i, n int) (packet.Prefix, error) {
 // follows the updated pointer to the target shard.
 type ueEntry struct {
 	mu    sync.Mutex
-	shard *Shard
+	shard *Shard // guarded by mu
 }
 
 // Dispatcher fronts a set of controller shards: it routes base-station-
@@ -103,8 +103,8 @@ type Dispatcher struct {
 	ring   atomic.Value // *Ring
 
 	mu     sync.RWMutex
-	ues    map[string]*ueEntry
-	byPerm map[packet.Addr]string
+	ues    map[string]*ueEntry    // guarded by mu
+	byPerm map[packet.Addr]string // guarded by mu
 
 	failMu sync.Mutex // serialises failovers
 }
@@ -338,12 +338,12 @@ func (d *Dispatcher) LookupUE(imsi string) (core.UE, bool) {
 func (d *Dispatcher) ResolveLocIP(perm packet.Addr) (packet.Addr, error) {
 	d.mu.RLock()
 	imsi, ok := d.byPerm[perm]
-	d.mu.RUnlock()
-	if !ok {
-		return 0, fmt.Errorf("shard: no UE with permanent address %s", perm)
+	var e *ueEntry
+	if ok {
+		e = d.ues[imsi]
 	}
-	e, ok := d.lookupEntry(imsi)
-	if !ok {
+	d.mu.RUnlock()
+	if !ok || e == nil {
 		return 0, fmt.Errorf("shard: no UE with permanent address %s", perm)
 	}
 	e.mu.Lock()

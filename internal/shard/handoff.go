@@ -57,6 +57,7 @@ func (d *Dispatcher) Handoff(imsi string, newBS packet.BSID) (core.HandoffResult
 		// The record existed but was detached; put it back where it can
 		// re-attach and report the usual error.
 		if _, _, aerr := d.adopt(src, mig, mig.OldBS); aerr == nil {
+			//lint:ignore errdrop best-effort rollback; the attach error below is the one reported
 			_ = d.detachOn(src, imsi)
 		}
 		return core.HandoffResult{}, fmt.Errorf("shard: UE %q is not attached", imsi)

@@ -107,7 +107,8 @@ func (k *Kernel) After(d Time, fn func()) *Event {
 	if d < 0 {
 		d = 0
 	}
-	e, _ := k.At(k.now+d, fn) // cannot fail: now+d >= now
+	//lint:ignore errdrop At cannot fail: now+d >= now
+	e, _ := k.At(k.now+d, fn)
 	return e
 }
 
@@ -125,7 +126,8 @@ func (k *Kernel) Every(interval Time, fn func() bool) (*Event, error) {
 			k.After(interval, tick)
 		}
 	}
-	e, _ := k.At(k.now+interval, tick) // cannot fail: now+interval > now
+	//lint:ignore errdrop At cannot fail: now+interval > now
+	e, _ := k.At(k.now+interval, tick)
 	return e, nil
 }
 

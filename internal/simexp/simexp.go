@@ -54,6 +54,12 @@ type Params struct {
 
 	// Debug prints the five fullest switches.
 	Debug bool
+
+	// Now, when set, supplies the timestamps behind Result.Elapsed (callers
+	// that want wall-clock timing pass time.Now). The simulation itself is a
+	// pure function of the other parameters; with Now nil, Elapsed stays
+	// zero and no clock is read at all.
+	Now func() time.Time
 }
 
 func (p Params) withDefaults() Params {
@@ -159,7 +165,11 @@ func randomChains(t *topo.Topology, n, m, k int, rng *rand.Rand) [][]topo.MBInst
 // Run executes one simulation point.
 func Run(p Params) (Result, error) {
 	p = p.withDefaults()
-	start := time.Now()
+	now := p.Now
+	if now == nil {
+		now = func() time.Time { return time.Time{} }
+	}
+	start := now()
 	g, err := topo.Generate(topo.GenParams{K: p.K, ClusterSize: p.ClusterSize, MBTypes: p.K, Seed: p.Seed})
 	if err != nil {
 		return Result{}, err
@@ -238,6 +248,6 @@ func Run(p Params) (Result, error) {
 		LocationRules:  loc,
 		TagsAllocated:  st.TagsAllocated,
 		LoopsSplit:     st.LoopsSplit,
-		Elapsed:        time.Since(start),
+		Elapsed:        now().Sub(start),
 	}, nil
 }

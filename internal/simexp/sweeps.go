@@ -1,6 +1,9 @@
 package simexp
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Fig7aPoints is the paper's clause-count sweep (Fig. 7(a)): n from 1000 to
 // 8000 at k=8, m=5.
@@ -21,6 +24,8 @@ type SweepOptions struct {
 	Scale int // divide clause counts by this (default 1)
 	// StrideAt maps k to a station stride (0/absent = all stations).
 	StrideAt map[int]int
+	// Now passes through to Params.Now (wall-clock timing for Elapsed).
+	Now func() time.Time
 }
 
 func (o SweepOptions) scale() int {
@@ -33,7 +38,7 @@ func (o SweepOptions) scale() int {
 // Fig7a sweeps the number of policy clauses.
 func Fig7a(opt SweepOptions, report func(Result)) error {
 	for _, n := range Fig7aPoints {
-		r, err := Run(Params{K: 8, N: n / opt.scale(), M: 5, Seed: opt.Seed})
+		r, err := Run(Params{K: 8, N: n / opt.scale(), M: 5, Seed: opt.Seed, Now: opt.Now})
 		if err != nil {
 			return fmt.Errorf("simexp: fig7a n=%d: %w", n, err)
 		}
@@ -45,7 +50,7 @@ func Fig7a(opt SweepOptions, report func(Result)) error {
 // Fig7b sweeps the clause length.
 func Fig7b(opt SweepOptions, report func(Result)) error {
 	for _, m := range Fig7bPoints {
-		r, err := Run(Params{K: 8, N: 1000 / opt.scale(), M: m, Seed: opt.Seed})
+		r, err := Run(Params{K: 8, N: 1000 / opt.scale(), M: m, Seed: opt.Seed, Now: opt.Now})
 		if err != nil {
 			return fmt.Errorf("simexp: fig7b m=%d: %w", m, err)
 		}
@@ -61,7 +66,7 @@ func Fig7c(opt SweepOptions, report func(Result)) error {
 		if opt.StrideAt != nil && opt.StrideAt[k] > 0 {
 			stride = opt.StrideAt[k]
 		}
-		r, err := Run(Params{K: k, N: 1000 / opt.scale(), M: 5, Seed: opt.Seed, StationStride: stride})
+		r, err := Run(Params{K: k, N: 1000 / opt.scale(), M: 5, Seed: opt.Seed, StationStride: stride, Now: opt.Now})
 		if err != nil {
 			return fmt.Errorf("simexp: fig7c k=%d: %w", k, err)
 		}

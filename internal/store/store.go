@@ -24,8 +24,8 @@ type Replica struct {
 	name string
 
 	mu      sync.RWMutex
-	data    map[string]Entry
-	applied uint64 // last commit sequence applied
+	data    map[string]Entry // guarded by mu
+	applied uint64           // guarded by mu; last commit sequence applied
 }
 
 // NewReplica creates an empty replica.
@@ -110,18 +110,18 @@ func (r *Replica) load(data map[string]Entry, applied uint64) {
 // slowly.
 type Store struct {
 	mu       sync.Mutex
-	primary  *Replica
-	replicas []*Replica
-	seq      uint64
+	primary  *Replica   // guarded by mu
+	replicas []*Replica // guarded by mu
+	seq      uint64     // guarded by mu
 }
 
 // New creates a store with a primary and n additional replicas.
 func New(nReplicas int) *Store {
-	s := &Store{primary: NewReplica("primary")}
+	replicas := make([]*Replica, 0, nReplicas)
 	for i := 0; i < nReplicas; i++ {
-		s.replicas = append(s.replicas, NewReplica(fmt.Sprintf("replica%d", i)))
+		replicas = append(replicas, NewReplica(fmt.Sprintf("replica%d", i)))
 	}
-	return s
+	return &Store{primary: NewReplica("primary"), replicas: replicas}
 }
 
 // Primary exposes the current primary replica (for reads).

@@ -63,20 +63,21 @@ type Switch struct {
 	Name string
 
 	mu      sync.RWMutex
-	rules   map[RuleID]*Rule
-	ordered []*Rule // sorted by (priority desc, seq desc)
-	micro   map[packet.FlowKey]*Rule
-	nextID  RuleID
-	nextSeq uint64
+	rules   map[RuleID]*Rule         // guarded by mu
+	ordered []*Rule                  // guarded by mu; sorted by (priority desc, seq desc)
+	micro   map[packet.FlowKey]*Rule // guarded by mu
+	nextID  RuleID                   // guarded by mu
+	nextSeq uint64                   // guarded by mu
 
 	// TableMiss is the verdict for packets no rule covers. The default
 	// zero value drops; gateway/core switches usually leave it, access
-	// switches punt to the local agent.
+	// switches punt to the local agent. Set it before traffic starts; it is
+	// deliberately not guarded (agent.New assigns it during wiring).
 	TableMiss Action
 
 	// Stats
-	Processed uint64
-	Misses    uint64
+	Processed uint64 // guarded by mu
+	Misses    uint64 // guarded by mu
 }
 
 // NewSwitch returns an empty switch.
@@ -96,6 +97,9 @@ func (s *Switch) Install(prio int, m Match, a Action) RuleID {
 	return s.installLocked(prio, m, a)
 }
 
+// installLocked is Install's body, shared with the batched Apply.
+//
+// caller holds mu
 func (s *Switch) installLocked(prio int, m Match, a Action) RuleID {
 	s.nextID++
 	s.nextSeq++
@@ -121,6 +125,9 @@ func (s *Switch) Remove(id RuleID) bool {
 	return s.removeLocked(id)
 }
 
+// removeLocked is Remove's body, shared with the batched Apply.
+//
+// caller holds mu
 func (s *Switch) removeLocked(id RuleID) bool {
 	r, ok := s.rules[id]
 	if !ok {
