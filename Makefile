@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint fuzz verify bench-shards clean
+.PHONY: all build test race vet lint fuzz verify bench bench-shards profile clean
 
 all: verify
 
@@ -37,9 +37,22 @@ verify:
 	$(GO) build ./...
 	$(GO) test -race ./...
 
+# bench regenerates the committed controller sweep (§6.2): human-readable
+# table on stdout, machine-readable results/BENCH_controller.json on disk.
+bench:
+	$(GO) run ./cmd/softcell-bench -mode controller -agents 16 -duration 1s \
+		-json results/BENCH_controller.json | tee results/bench_controller.txt
+
 # bench-shards regenerates the committed shard-scaling sweep.
 bench-shards:
 	$(GO) run ./cmd/softcell-bench -mode shards -duration 500ms -out results/bench_shards.txt
+
+# profile captures CPU and heap profiles of the controller hot path via the
+# Go benchmarks (DESIGN.md §10). Inspect with `go tool pprof results/cpu.pprof`.
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkRequestPath' -benchtime 2s \
+		-cpuprofile results/cpu.pprof -memprofile results/mem.pprof \
+		-o results/core.test ./internal/core
 
 clean:
 	$(GO) clean ./...

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,25 @@ import (
 	"repro/internal/metrics"
 )
 
+// benchPoint is one row of the machine-readable controller benchmark.
+type benchPoint struct {
+	Workers        int     `json:"workers"`
+	Requests       uint64  `json:"requests"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+}
+
+// benchReport is the BENCH_controller.json schema: enough configuration to
+// reproduce the run, plus the sweep rows.
+type benchReport struct {
+	Mode       string       `json:"mode"`
+	Agents     int          `json:"agents"`
+	OverWire   bool         `json:"over_wire"`
+	DurationMS int64        `json:"duration_ms"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Points     []benchPoint `json:"points"`
+}
+
 func main() {
 	var (
 		mode     = flag.String("mode", "controller", "controller | agent | shards")
@@ -28,14 +48,19 @@ func main() {
 		wire     = flag.Bool("wire", true, "drive the binary control protocol (false: in-process calls)")
 		rtt      = flag.Duration("rtt", 500*time.Microsecond, "simulated controller RTT for agent cache misses")
 		out      = flag.String("out", "", "with -mode shards: also write the sweep table to this file")
+		jsonOut  = flag.String("json", "", "with -mode controller: write the sweep as JSON to this file")
 	)
 	flag.Parse()
 
 	switch *mode {
 	case "controller":
-		fmt.Printf("controller throughput (Cbench equivalent): %d emulated agents, %v per point\n",
-			*agents, *duration)
-		tab := metrics.NewTable("workers", "requests", "requests/s")
+		fmt.Printf("controller throughput (Cbench equivalent): %d emulated agents, %v per point, GOMAXPROCS=%d\n",
+			*agents, *duration, runtime.GOMAXPROCS(0))
+		tab := metrics.NewTable("workers", "requests", "requests/s", "allocs/op")
+		report := benchReport{
+			Mode: "controller", Agents: *agents, OverWire: *wire,
+			DurationMS: duration.Milliseconds(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		}
 		for _, workers := range []int{1, 2, 4, 8, 15} {
 			res, err := cbench.BenchController(cbench.ControllerOptions{
 				Agents: *agents, Workers: workers, Duration: *duration, OverWire: *wire,
@@ -44,9 +69,25 @@ func main() {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				os.Exit(1)
 			}
-			tab.AddRow(workers, res.Requests, res.PerSecond())
+			tab.AddRow(workers, res.Requests, res.PerSecond(), fmt.Sprintf("%.1f", res.AllocsPerOp))
+			report.Points = append(report.Points, benchPoint{
+				Workers: workers, Requests: res.Requests,
+				RequestsPerSec: res.PerSecond(), AllocsPerOp: res.AllocsPerOp,
+			})
 		}
 		fmt.Print(tab)
+		if *jsonOut != "" {
+			b, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nwrote %s\n", *jsonOut)
+		}
 		fmt.Println("\npaper: 2.2M requests/s at 15 threads on a dual Xeon W5580; absolute")
 		fmt.Println("numbers depend on the host, the shape (scaling with workers until the")
 		fmt.Println("core count saturates) is the claim.")

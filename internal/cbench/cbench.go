@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,12 @@ func (o ControllerOptions) withDefaults() ControllerOptions {
 type Result struct {
 	Requests uint64
 	Elapsed  time.Duration
+
+	// AllocsPerOp is heap allocations per completed request, measured as
+	// the runtime's malloc-count delta across the run divided by Requests.
+	// The whole process is counted, so wire-mode numbers include framing;
+	// the in-process number isolates the controller fast path.
+	AllocsPerOp float64
 
 	// PerShard holds per-shard completed-request counts when the sharded
 	// benchmark produced the result (empty for single-controller runs).
@@ -191,10 +198,19 @@ func BenchController(opts ControllerOptions) (Result, error) {
 		}
 	}
 
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	time.Sleep(opts.Duration)
 	stop.Store(true)
 	wg.Wait()
-	return Result{Requests: total, Elapsed: time.Since(start)}, nil
+	elapsed := time.Since(start)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	res := Result{Requests: total, Elapsed: elapsed}
+	if total > 0 {
+		res.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(total)
+	}
+	return res, nil
 }
 
 // AgentOptions configure the Table 2 local-agent benchmark.

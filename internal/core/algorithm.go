@@ -26,11 +26,12 @@ type step struct {
 }
 
 // expandSteps turns a routed path into its forwarding steps for one
-// direction. Downstream walks gateway->access; upstream the reverse.
-// Consecutive duplicate switch positions (two middleboxes chained on one
-// switch) produce only middlebox steps, no self-forwarding.
-func expandSteps(p *routing.Path, dir Direction) []step {
-	var steps []step
+// direction, appending to buf (pass a reused buffer re-sliced to zero
+// length to avoid allocating). Downstream walks gateway->access; upstream
+// the reverse. Consecutive duplicate switch positions (two middleboxes
+// chained on one switch) produce only middlebox steps, no self-forwarding.
+func expandSteps(p *routing.Path, dir Direction, buf []step) []step {
+	steps := buf
 	n := p.Len()
 	ctx := NoMB
 	inFrom := topo.None // entry: Internet side / UE side
@@ -185,6 +186,23 @@ type Installer struct {
 	// treeParent holds the canonical shortest-path tree per gateway root,
 	// built lazily; location rules are only placed for steps that follow it.
 	treeParent map[topo.NodeID][]topo.NodeID
+
+	// scratch holds buffers reused across InstallPath calls so the
+	// steady-state install loop does not allocate (one set suffices: the
+	// Installer is serialised — the Controller calls it under ruleMu). Maps
+	// are cleared, slices re-sliced to zero length, on each use; nothing in
+	// here may escape into an InstalledPath record.
+	scratch struct {
+		down, up   []step
+		demands    map[demandKey]demand
+		costUse    map[topo.NodeID]NextHop
+		installUse map[topo.NodeID]NextHop
+		candSeen   map[packet.Tag]bool
+		cands      []packet.Tag
+		chainIdx   map[topo.NodeID]int
+		downSegs   [][]step
+		upSegs     [][]step
+	}
 }
 
 // NewInstaller builds an installer over the topology.
@@ -205,7 +223,7 @@ func NewInstaller(t *topo.Topology, opts InstallerOptions) (*Installer, error) {
 	for i := range fibs {
 		fibs[i] = NewFIB(topo.NodeID(i))
 	}
-	return &Installer{
+	in := &Installer{
 		T:          t,
 		Opts:       opts,
 		plan:       opts.Plan,
@@ -215,7 +233,13 @@ func NewInstaller(t *topo.Topology, opts InstallerOptions) (*Installer, error) {
 		originTags: make(map[packet.BSID][]packet.Tag),
 		paths:      make(map[PathID]*InstalledPath),
 		treeParent: make(map[topo.NodeID][]topo.NodeID),
-	}, nil
+	}
+	in.scratch.demands = make(map[demandKey]demand)
+	in.scratch.costUse = make(map[topo.NodeID]NextHop)
+	in.scratch.installUse = make(map[topo.NodeID]NextHop)
+	in.scratch.candSeen = make(map[packet.Tag]bool)
+	in.scratch.chainIdx = make(map[topo.NodeID]int)
+	return in, nil
 }
 
 // tree returns (building lazily) the canonical tree rooted at the gateway,
@@ -334,7 +358,9 @@ func (in *Installer) canonFor(p *routing.Path, access topo.NodeID) canonCtx {
 	if chain == nil || chain[len(chain)-1] != p.Gateway() {
 		return canonCtx{}
 	}
-	idx := make(map[topo.NodeID]int, len(chain))
+	// The index map is scratch state: it lives only for this path's install.
+	idx := in.scratch.chainIdx
+	clear(idx)
 	for i, n := range chain {
 		idx[n] = i
 	}
@@ -437,21 +463,26 @@ type demandKey struct {
 	from topo.NodeID
 }
 
+// demand is one recorded forwarding decision during loop detection.
+type demand struct {
+	next NextHop
+	pos  int
+}
+
 // findCuts returns the sorted path positions where a new loop segment must
 // begin: within one segment, no (direction, switch, context) may demand two
 // different next hops, or a single (tag, prefix) rule could not express the
 // path (§3.2 "Dealing with loops"). It refines iteratively until both
-// directions are conflict-free.
-func findCuts(down, up []step, pathLen int) []int {
+// directions are conflict-free. The demand table is scratch state (cleared
+// per iteration), so the loop-free common case does not allocate.
+func (in *Installer) findCuts(down, up []step, pathLen int) []int {
 	var cuts []int
 	inSegment := func(pos int) int { // segment index for a position
 		return sort.SearchInts(cuts, pos+1)
 	}
+	demands := in.scratch.demands
 	for iter := 0; iter < pathLen+2; iter++ {
-		demands := make(map[demandKey]struct {
-			next NextHop
-			pos  int
-		})
+		clear(demands)
 		conflictAt := -1
 		for dirIdx, steps := range [2][]step{down, up} {
 			for _, st := range steps {
@@ -471,10 +502,7 @@ func findCuts(down, up []step, pathLen int) []int {
 					break
 				}
 				// Keep the later position so chained conflicts refine.
-				demands[k] = struct {
-					next NextHop
-					pos  int
-				}{st.next, st.pos}
+				demands[k] = demand{st.next, st.pos}
 			}
 			if conflictAt >= 0 {
 				break
@@ -511,13 +539,16 @@ func sliceByPos(steps []step, cuts []int) [][]step {
 // previously used for the same (chain signature, segment), then — when the
 // hints are empty or PaperExactCandidates is set — tags present on the
 // path's switches. Tags already used by this origin (or chosen for an
-// earlier segment of this very path) are excluded, per footnote 2.
+// earlier segment of this very path) are excluded, per footnote 2. The
+// returned slice is scratch state, valid until the next call.
 func (in *Installer) candidateTags(p *routing.Path, chainKey string, seg int, taken []packet.Tag) []packet.Tag {
 	if in.Opts.FreshTagPerPath {
 		return nil
 	}
-	var out []packet.Tag
-	seen := make(map[packet.Tag]bool)
+	out := in.scratch.cands[:0]
+	seen := in.scratch.candSeen
+	clear(seen)
+	defer func() { in.scratch.cands = out[:0] }()
 	add := func(t packet.Tag) {
 		if t == 0 || seen[t] || in.originHas(p.Origin, t) {
 			return
@@ -570,9 +601,10 @@ func (in *Installer) lookupStep(dir Direction, st step, tag packet.Tag, prefix p
 // which rules land in the in-port-qualified context.
 func (in *Installer) costForTag(down, up []step, t packet.Tag, prefix packet.Prefix, canon canonCtx) int {
 	cost := 0
+	mainUse := in.scratch.costUse
 	for dirIdx, steps := range [2][]step{down, up} {
 		dir := Direction(dirIdx)
-		mainUse := make(map[topo.NodeID]NextHop, len(steps))
+		clear(mainUse)
 		for _, st := range steps {
 			f := in.fibs[st.sw]
 			if st.fromMB != NoMB {
@@ -661,7 +693,8 @@ func (in *Installer) costForTag(down, up []step, t packet.Tag, prefix packet.Pre
 // (tag, prefix) at one switch — the different-link loop of §3.2.
 func (in *Installer) installSteps(dir Direction, steps []step, t packet.Tag, prefix packet.Prefix, canon canonCtx) int {
 	delta := 0
-	mainUse := make(map[topo.NodeID]NextHop, len(steps))
+	mainUse := in.scratch.installUse
+	clear(mainUse)
 	doInsert := func(tr *prefixTrie, nh NextHop) {
 		if in.Opts.NoPrefixAggregation {
 			delta += insertNoAgg(tr, prefix, nh)
@@ -849,19 +882,27 @@ func (in *Installer) InstallPath(p *routing.Path) (*InstalledPath, error) {
 		return nil, err
 	}
 
-	down := expandSteps(p, Down)
+	down := expandSteps(p, Down, in.scratch.down[:0])
 	var up []step
 	if !in.Opts.DownstreamOnly {
-		up = expandSteps(p, Up)
+		up = expandSteps(p, Up, in.scratch.up[:0])
 	}
 	if in.Opts.SkipAccessSwitchRules {
 		down = in.dropAccessSteps(down)
 		up = in.dropAccessSteps(up)
 	}
-	cuts := findCuts(down, up, p.Len())
-	downSegs := sliceByPos(down, cuts)
-	upSegs := sliceByPos(up, cuts)
-	if len(cuts) > 0 {
+	in.scratch.down, in.scratch.up = down[:0], up[:0]
+	cuts := in.findCuts(down, up, p.Len())
+	var downSegs, upSegs [][]step
+	if len(cuts) == 0 {
+		// Loop-free path (the overwhelmingly common case): one segment per
+		// direction, no per-group copies.
+		downSegs = append(in.scratch.downSegs[:0], down)
+		upSegs = append(in.scratch.upSegs[:0], up)
+		in.scratch.downSegs, in.scratch.upSegs = downSegs[:0], upSegs[:0]
+	} else {
+		downSegs = sliceByPos(down, cuts)
+		upSegs = sliceByPos(up, cuts)
 		in.stats.LoopsSplit++
 	}
 

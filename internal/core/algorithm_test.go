@@ -24,7 +24,7 @@ type fig3Net struct {
 	firewall, tc1, tc2 topo.MBInstanceID
 }
 
-func newFig3Net(t *testing.T) *fig3Net {
+func newFig3Net(t testing.TB) *fig3Net {
 	t.Helper()
 	n := &fig3Net{Topology: topo.New()}
 	n.gw = n.AddNode(topo.Gateway, "gw")
@@ -60,7 +60,7 @@ func newFig3Net(t *testing.T) *fig3Net {
 	return n
 }
 
-func mustInstaller(t *testing.T, tp *topo.Topology, opts InstallerOptions) *Installer {
+func mustInstaller(t testing.TB, tp *topo.Topology, opts InstallerOptions) *Installer {
 	t.Helper()
 	in, err := NewInstaller(tp, opts)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/packet"
 	"repro/internal/policy"
@@ -40,6 +41,12 @@ type pathKey struct {
 	clause int
 }
 
+// tagMap is the read-mostly memo published to RequestPath's lock-free fast
+// path: (bs, clause) -> access-side tag of the installed policy path. A
+// valid tag is never 0 (Installer tags start at offset+stride), so a zero
+// lookup result always means "miss".
+type tagMap map[pathKey]packet.Tag
+
 // ControllerConfig parameterises NewController.
 type ControllerConfig struct {
 	Plan     packet.Plan // zero value = packet.DefaultPlan
@@ -66,10 +73,27 @@ type ControllerConfig struct {
 
 // Controller is the SoftCell central controller: it owns the subscriber
 // database, UE state, policy-path installation and the replicated control
-// store. It is safe for concurrent use (a single lock — the controller's
-// work items are small; the throughput benchmarks measure exactly this).
+// store. It is safe for concurrent use.
+//
+// State is split into three lock domains so readers and independent writers
+// do not contend (the throughput benchmarks measure exactly this):
+//
+//   - ueMu guards the UE/location tables; lookups take only the read lock.
+//   - allocMu guards the address/ID allocators (free lists, counters).
+//   - ruleMu guards the rule tables: Planner, Installer, the installed-path
+//     map, and topology up/down flags — everything Algorithm 1 and prefix
+//     aggregation touch. The Installer itself is not safe for concurrent
+//     use; every controller code path that mutates or reads it holds
+//     ruleMu. External read-only access (dataplane assembly, examples,
+//     trace dumps) happens in single-threaded contexts by design.
+//
+// lock ordering: ueMu, allocMu, ruleMu — a later mutex may be acquired
+// while holding an earlier one, never the reverse. The fastest path of all,
+// a repeat RequestPath, takes no lock: it reads the tagCache snapshot.
 type Controller struct {
-	mu sync.Mutex
+	ueMu    sync.RWMutex // UE/location state
+	allocMu sync.Mutex   // address/ID allocation
+	ruleMu  sync.Mutex   // rule tables: Planner, Installer, paths
 
 	T         *topo.Topology
 	Planner   *routing.Planner
@@ -81,26 +105,32 @@ type Controller struct {
 	gateway  topo.NodeID
 	mbTypes  map[string]topo.MBType
 	permPool packet.Prefix
-	permNext uint32               // guarded by mu
-	owned    map[packet.BSID]bool // guarded by mu; nil = unrestricted
+	permNext uint32               // guarded by allocMu
+	owned    map[packet.BSID]bool // guarded by ueMu; nil = unrestricted
 
-	subscribers map[string]policy.Attributes // guarded by mu
-	ues         map[string]*UE               // guarded by mu
-	byLoc       map[packet.Addr]string       // guarded by mu; LocIP -> IMSI
-	byPerm      map[packet.Addr]string       // guarded by mu; permanent IP -> IMSI
+	subscribers map[string]policy.Attributes // guarded by ueMu
+	ues         map[string]*UE               // guarded by ueMu
+	byLoc       map[packet.Addr]string       // guarded by ueMu; LocIP -> IMSI
+	byPerm      map[packet.Addr]string       // guarded by ueMu; permanent IP -> IMSI
 	// reservations holds, per still-reserved old LocIP, the live shortcut
 	// state for in-flight flows of a moved UE (§5.1); retargeted on every
 	// subsequent handoff, removed by ReleaseOldLocIP's soft timeout.
-	reservations map[packet.Addr]*reservation  // guarded by mu
-	nextUEID     map[packet.BSID]packet.UEID   // guarded by mu
-	freeUEIDs    map[packet.BSID][]packet.UEID // guarded by mu
-	paths        map[pathKey]*InstalledPath    // guarded by mu
+	reservations map[packet.Addr]*reservation  // guarded by ueMu
+	nextUEID     map[packet.BSID]packet.UEID   // guarded by allocMu
+	freeUEIDs    map[packet.BSID][]packet.UEID // guarded by allocMu
+	paths        map[pathKey]*InstalledPath    // guarded by ruleMu
 
-	// Stats; snapshot through Stats() when not already under the lock.
-	Attaches uint64 // guarded by mu
-	Handoffs uint64 // guarded by mu
-	PathAsks uint64 // guarded by mu
-	PathMiss uint64 // guarded by mu; asks that had to install a new path
+	// tagCache is the copy-on-write (bs, clause) -> tag memo. Readers Load
+	// and index it with no lock; writers (all holding ruleMu) publish a
+	// fresh map. Invalidated wholesale on RemovePolicyPaths and failure
+	// recomputation, per station on shard migration.
+	tagCache atomic.Pointer[tagMap]
+
+	// Stats counters; snapshot through Stats().
+	attaches atomic.Uint64
+	handoffs atomic.Uint64
+	pathAsks atomic.Uint64
+	pathMiss atomic.Uint64 // asks that had to install a new path
 }
 
 // ControllerStats is a point-in-time snapshot of the controller's counters.
@@ -111,12 +141,11 @@ type ControllerStats struct {
 	PathMiss uint64
 }
 
-// Stats snapshots the controller's counters under the lock.
+// Stats snapshots the controller's counters (each is independently atomic;
+// no lock is taken).
 func (c *Controller) Stats() ControllerStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return ControllerStats{Attaches: c.Attaches, Handoffs: c.Handoffs,
-		PathAsks: c.PathAsks, PathMiss: c.PathMiss}
+	return ControllerStats{Attaches: c.attaches.Load(), Handoffs: c.handoffs.Load(),
+		PathAsks: c.pathAsks.Load(), PathMiss: c.pathMiss.Load()}
 }
 
 // NewController wires a controller over the topology.
@@ -158,7 +187,7 @@ func NewController(t *topo.Topology, cfg ControllerConfig) (*Controller, error) 
 			owned[bs] = true
 		}
 	}
-	return &Controller{
+	c := &Controller{
 		T:            t,
 		Planner:      routing.NewPlanner(t),
 		Installer:    inst,
@@ -177,7 +206,10 @@ func NewController(t *topo.Topology, cfg ControllerConfig) (*Controller, error) 
 		nextUEID:     make(map[packet.BSID]packet.UEID),
 		freeUEIDs:    make(map[packet.BSID][]packet.UEID),
 		paths:        make(map[pathKey]*InstalledPath),
-	}, nil
+	}
+	empty := make(tagMap)
+	c.tagCache.Store(&empty)
+	return c, nil
 }
 
 // Plan exposes the controller's address plan.
@@ -191,8 +223,8 @@ func (c *Controller) PermPool() packet.Prefix { return c.permPool }
 
 // RegisterSubscriber loads one subscriber record (the HSS equivalent).
 func (c *Controller) RegisterSubscriber(imsi string, attr policy.Attributes) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ueMu.Lock()
+	defer c.ueMu.Unlock()
 	c.subscribers[imsi] = attr
 	blob, err := json.Marshal(attr)
 	if err != nil {
@@ -204,7 +236,7 @@ func (c *Controller) RegisterSubscriber(imsi string, attr policy.Attributes) err
 
 // allocLocIP assigns a fresh (UEID, LocIP) at a base station.
 //
-// caller holds mu
+// caller holds allocMu
 func (c *Controller) allocLocIP(bs packet.BSID) (packet.UEID, packet.Addr, error) {
 	var id packet.UEID
 	if free := c.freeUEIDs[bs]; len(free) > 0 {
@@ -228,8 +260,8 @@ func (c *Controller) allocLocIP(bs packet.BSID) (packet.UEID, packet.Addr, error
 // first attach, a location-dependent address, and compiles the per-UE
 // packet classifiers for the local agent.
 func (c *Controller) Attach(imsi string, bs packet.BSID) (UE, []Classifier, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ueMu.Lock()
+	defer c.ueMu.Unlock()
 	attr, ok := c.subscribers[imsi]
 	if !ok {
 		return UE{}, nil, fmt.Errorf("core: unknown subscriber %q", imsi)
@@ -240,6 +272,8 @@ func (c *Controller) Attach(imsi string, bs packet.BSID) (UE, []Classifier, erro
 	if !c.ownsLocked(bs) {
 		return UE{}, nil, fmt.Errorf("core: attach at base station %d: %w", bs, ErrNotOwned)
 	}
+	c.allocMu.Lock()
+	defer c.allocMu.Unlock()
 	ue := c.ues[imsi]
 	if ue == nil {
 		hostBits := 32 - c.permPool.Len
@@ -264,16 +298,17 @@ func (c *Controller) Attach(imsi string, bs packet.BSID) (UE, []Classifier, erro
 	}
 	ue.BS, ue.UEID, ue.LocIP = bs, id, loc
 	c.byLoc[loc] = imsi
-	c.Attaches++
+	c.attaches.Add(1)
 	if err := c.persistUELocked(ue); err != nil {
 		return UE{}, nil, err
 	}
 	return *ue, c.classifiersLocked(ue), nil
 }
 
-// persistUELocked writes a UE record to the replicated store.
+// persistUELocked writes a UE record to the replicated store (the store is
+// internally synchronised; the lock keeps the record itself stable).
 //
-// caller holds mu
+// caller holds ueMu
 func (c *Controller) persistUELocked(ue *UE) error {
 	blob, err := json.Marshal(ue)
 	if err != nil {
@@ -284,18 +319,18 @@ func (c *Controller) persistUELocked(ue *UE) error {
 }
 
 // classifiersLocked compiles the service policy for one UE, resolving tags
-// for clauses whose policy paths already exist at the UE's base station.
+// for clauses whose policy paths already exist at the UE's base station
+// (read from the tagCache snapshot — no rule-table lock needed).
 //
-// caller holds mu
+// caller holds ueMu
 func (c *Controller) classifiersLocked(ue *UE) []Classifier {
 	entries := c.Policy.Compile(ue.Attr)
+	tags := *c.tagCache.Load()
 	out := make([]Classifier, 0, len(entries))
 	for _, e := range entries {
 		cl := Classifier{App: e.App, Clause: e.Clause, Allow: e.Action.Allow, QoS: e.Action.QoS}
 		if e.Action.Allow {
-			if rec, ok := c.paths[pathKey{ue.BS, e.Clause}]; ok {
-				cl.Tag = rec.AccessTag()
-			}
+			cl.Tag = tags[pathKey{ue.BS, e.Clause}]
 			// Tag 0 = "send to controller": the agent asks for the path on
 			// first use (§4.2's second classifier example).
 		}
@@ -306,22 +341,45 @@ func (c *Controller) classifiersLocked(ue *UE) []Classifier {
 
 // RequestPath resolves (installing if needed) the policy path for a clause
 // from a base station, returning the access-side tag the agent embeds.
-// This is the controller's hot path: the micro-benchmarks drive it.
+// This is the controller's hot path: the micro-benchmarks drive it. The
+// steady state — the path already installed — reads the tagCache snapshot
+// with no lock and no allocation.
 func (c *Controller) RequestPath(bs packet.BSID, clause int) (packet.Tag, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.requestPathLocked(bs, clause)
+	c.pathAsks.Add(1)
+	if tag, ok := (*c.tagCache.Load())[pathKey{bs, clause}]; ok {
+		return tag, nil
+	}
+	return c.requestPathSlow(bs, clause)
 }
 
-// requestPathLocked is RequestPath's body, shared with the batched form.
-//
-// caller holds mu
-func (c *Controller) requestPathLocked(bs packet.BSID, clause int) (packet.Tag, error) {
-	c.PathAsks++
-	if !c.ownsLocked(bs) {
+// requestPathSlow is the miss path: it checks station ownership under the
+// UE read lock, then installs (or discovers, if another goroutine raced the
+// install) the path under the rule-table lock.
+func (c *Controller) requestPathSlow(bs packet.BSID, clause int) (packet.Tag, error) {
+	c.ueMu.RLock()
+	owns := c.ownsLocked(bs)
+	c.ueMu.RUnlock()
+	if !owns {
 		return 0, fmt.Errorf("core: path request from base station %d: %w", bs, ErrNotOwned)
 	}
+	c.ruleMu.Lock()
+	defer c.ruleMu.Unlock()
+	return c.resolvePathLocked(bs, clause)
+}
+
+// resolvePathLocked returns the installed path's tag for (bs, clause),
+// running plan + Algorithm 1 and publishing the tag to the cache when the
+// path does not exist yet. Ownership of bs has already been checked.
+//
+// caller holds ruleMu
+func (c *Controller) resolvePathLocked(bs packet.BSID, clause int) (packet.Tag, error) {
 	if rec, ok := c.paths[pathKey{bs, clause}]; ok {
+		// The path survived but its memo entry may have been dropped by a
+		// station-level invalidation (shard migration): republish so later
+		// requests go back to hitting the lock-free fast path.
+		if (*c.tagCache.Load())[pathKey{bs, clause}] != rec.AccessTag() {
+			c.publishTagLocked(pathKey{bs, clause}, rec.AccessTag())
+		}
 		return rec.AccessTag(), nil
 	}
 	cl, ok := c.Policy.Clause(clause)
@@ -348,7 +406,8 @@ func (c *Controller) requestPathLocked(bs packet.BSID, clause int) (packet.Tag, 
 		return 0, err
 	}
 	c.paths[pathKey{bs, clause}] = rec
-	c.PathMiss++
+	c.publishTagLocked(pathKey{bs, clause}, rec.AccessTag())
+	c.pathMiss.Add(1)
 	key := fmt.Sprintf("path/%d/%d", bs, clause)
 	blob := make([]byte, 8)
 	binary.BigEndian.PutUint64(blob, uint64(rec.ID))
@@ -358,10 +417,54 @@ func (c *Controller) requestPathLocked(bs packet.BSID, clause int) (packet.Tag, 
 	return rec.AccessTag(), nil
 }
 
+// publishTagLocked adds one entry to the tagCache snapshot (copy-on-write:
+// installs are rare and bounded by stations x clauses).
+//
+// caller holds ruleMu
+func (c *Controller) publishTagLocked(key pathKey, tag packet.Tag) {
+	old := *c.tagCache.Load()
+	next := make(tagMap, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[key] = tag
+	c.tagCache.Store(&next)
+}
+
+// rebuildTagCacheLocked republishes the snapshot from the installed-path
+// map — the wholesale invalidation used by policy-path removal and failure
+// recomputation.
+//
+// caller holds ruleMu
+func (c *Controller) rebuildTagCacheLocked() {
+	next := make(tagMap, len(c.paths))
+	for k, rec := range c.paths {
+		next[k] = rec.AccessTag()
+	}
+	c.tagCache.Store(&next)
+}
+
+// invalidateStationLocked drops every cached tag of one base station, so
+// requests for it re-derive through the rule table. Used when a station
+// migrates between shards (AbsorbStation / ExtractUE): a memoised tag must
+// never outlive the handoff.
+//
+// caller holds ruleMu
+func (c *Controller) invalidateStationLocked(bs packet.BSID) {
+	old := *c.tagCache.Load()
+	next := make(tagMap, len(old))
+	for k, v := range old {
+		if k.bs != bs {
+			next[k] = v
+		}
+	}
+	c.tagCache.Store(&next)
+}
+
 // LookupUE resolves a UE by IMSI.
 func (c *Controller) LookupUE(imsi string) (UE, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ueMu.RLock()
+	defer c.ueMu.RUnlock()
 	ue, ok := c.ues[imsi]
 	if !ok {
 		return UE{}, false
@@ -374,8 +477,8 @@ func (c *Controller) LookupUE(imsi string) (UE, bool) {
 // mobile-to-mobile flow (§7: "SoftCell establishes a direct path between
 // them without detouring via a gateway").
 func (c *Controller) ResolveLocIP(perm packet.Addr) (packet.Addr, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ueMu.RLock()
+	defer c.ueMu.RUnlock()
 	imsi, ok := c.byPerm[perm]
 	if !ok {
 		return 0, fmt.Errorf("core: no UE with permanent address %s", perm)
@@ -389,8 +492,8 @@ func (c *Controller) ResolveLocIP(perm packet.Addr) (packet.Addr, error) {
 
 // LookupByLocIP resolves a UE by its current location-dependent address.
 func (c *Controller) LookupByLocIP(loc packet.Addr) (UE, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ueMu.RLock()
+	defer c.ueMu.RUnlock()
 	imsi, ok := c.byLoc[loc]
 	if !ok {
 		return UE{}, false
@@ -401,15 +504,17 @@ func (c *Controller) LookupByLocIP(loc packet.Addr) (UE, bool) {
 // Detach releases a UE's location state (its permanent IP remains bound to
 // the IMSI, as in real cores).
 func (c *Controller) Detach(imsi string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ueMu.Lock()
+	defer c.ueMu.Unlock()
 	ue, ok := c.ues[imsi]
 	if !ok {
 		return fmt.Errorf("core: unknown UE %q", imsi)
 	}
 	if ue.LocIP != 0 {
 		delete(c.byLoc, ue.LocIP)
+		c.allocMu.Lock()
 		c.freeUEIDs[ue.BS] = append(c.freeUEIDs[ue.BS], ue.UEID)
+		c.allocMu.Unlock()
 		ue.LocIP, ue.UEID = 0, 0
 	}
 	if _, err := c.Store.Delete("ue/" + imsi); err != nil {
@@ -429,8 +534,10 @@ type AgentLocationReport struct {
 // (§5.2: "a replica can correctly rebuild the UE location state by querying
 // local agents"). Existing location state is discarded first.
 func (c *Controller) RecoverLocations(reports []AgentLocationReport) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ueMu.Lock()
+	defer c.ueMu.Unlock()
+	c.allocMu.Lock()
+	defer c.allocMu.Unlock()
 	c.byLoc = make(map[packet.Addr]string)
 	c.nextUEID = make(map[packet.BSID]packet.UEID)
 	c.freeUEIDs = make(map[packet.BSID][]packet.UEID)
@@ -465,10 +572,11 @@ func (c *Controller) RecoverLocations(reports []AgentLocationReport) error {
 // state from the remaining paths — removal by recomputation, per the
 // paper's offline-algorithm discussion. Classifier caches at agents go
 // stale by design: their next flow for the clause asks the controller
-// again (tag 0 semantics).
+// again (tag 0 semantics). The tag memo is rebuilt from the surviving
+// paths, so no removed tag can be served again.
 func (c *Controller) RemovePolicyPaths(clause int) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ruleMu.Lock()
+	defer c.ruleMu.Unlock()
 	drop := make(map[PathID]bool)
 	for key, rec := range c.paths {
 		if key.clause == clause {
@@ -482,5 +590,9 @@ func (c *Controller) RemovePolicyPaths(clause int) error {
 	if len(drop) == 0 {
 		return nil
 	}
-	return c.Installer.Rebuild(func(p *InstalledPath) bool { return !drop[p.ID] })
+	err := c.Installer.Rebuild(func(p *InstalledPath) bool { return !drop[p.ID] })
+	// After the rebuild: it re-tags the surviving records in place, and the
+	// memo must reflect the tags agents will actually be served.
+	c.rebuildTagCacheLocked()
+	return err
 }

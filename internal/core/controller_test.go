@@ -12,7 +12,7 @@ import (
 // testController builds a controller over the Fig. 3 network with the
 // Table 1 policy; middlebox type 0 = firewall, 1 = transcoder, 2 = echo
 // cancel (attached alongside the transcoders for simplicity).
-func testController(t *testing.T) (*Controller, *fig3Net) {
+func testController(t testing.TB) (*Controller, *fig3Net) {
 	t.Helper()
 	n := newFig3Net(t)
 	if _, err := n.AttachMiddlebox(2, n.cs1); err != nil { // echo-cancel
@@ -130,8 +130,8 @@ func TestRequestPathCachesAndTags(t *testing.T) {
 	if tag1 != tag2 {
 		t.Fatal("second request should hit the cache")
 	}
-	if c.PathAsks != 2 || c.PathMiss != 1 {
-		t.Fatalf("asks=%d miss=%d", c.PathAsks, c.PathMiss)
+	if st := c.Stats(); st.PathAsks != 2 || st.PathMiss != 1 {
+		t.Fatalf("asks=%d miss=%d", st.PathAsks, st.PathMiss)
 	}
 	// Classifiers compiled now resolve the tag.
 	_, cls, _ := c.Attach("a", 0)

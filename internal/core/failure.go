@@ -23,8 +23,8 @@ type FailureReport struct {
 // by the failure are withdrawn; their classifiers resolve again (through
 // the controller) if connectivity returns.
 func (c *Controller) FailSwitch(n topo.NodeID) (FailureReport, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ruleMu.Lock()
+	defer c.ruleMu.Unlock()
 	if err := c.T.SetNodeDown(n, true); err != nil {
 		return FailureReport{}, err
 	}
@@ -33,8 +33,8 @@ func (c *Controller) FailSwitch(n topo.NodeID) (FailureReport, error) {
 
 // RecoverSwitch brings a failed switch back and re-optimises the paths.
 func (c *Controller) RecoverSwitch(n topo.NodeID) (FailureReport, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ruleMu.Lock()
+	defer c.ruleMu.Unlock()
 	if err := c.T.SetNodeDown(n, false); err != nil {
 		return FailureReport{}, err
 	}
@@ -42,9 +42,11 @@ func (c *Controller) RecoverSwitch(n topo.NodeID) (FailureReport, error) {
 }
 
 // recomputeLocked re-plans every cached path over the current topology and
-// rebuilds the installer from scratch.
+// rebuilds the installer from scratch. The tag memo is republished from
+// the surviving paths, so a tag whose path the failure changed or dropped
+// can never be served from cache.
 //
-// caller holds mu
+// caller holds ruleMu
 func (c *Controller) recomputeLocked(rep FailureReport) (FailureReport, error) {
 	// Fresh planner: its distance fields and trees reference the old graph.
 	c.Planner = routing.NewPlanner(c.T)
@@ -104,6 +106,7 @@ func (c *Controller) recomputeLocked(rep FailureReport) (FailureReport, error) {
 	}
 	c.Installer = inst
 	c.paths = newPaths
+	c.rebuildTagCacheLocked()
 	if rep.Recomputed+rep.Unreachable == 0 {
 		return rep, nil
 	}

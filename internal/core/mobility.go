@@ -140,9 +140,11 @@ type reservation struct {
 
 // retargetReservationsLocked points every reserved LocIP of a UE at its
 // newest station: old shortcuts come down, fresh ones (from each cached
-// path's branch point at the LocIP's origin station) go in.
+// path's branch point at the LocIP's origin station) go in. It touches
+// both the reservation table and the rule tables, so it runs under both
+// locks (acquired in order by Handoff).
 //
-// caller holds mu
+// caller holds ueMu; caller holds ruleMu
 func (c *Controller) retargetReservationsLocked(imsi string, newAccess topo.NodeID) []*Shortcut {
 	var all []*Shortcut
 	for loc, rsv := range c.reservations {
@@ -202,8 +204,8 @@ type HandoffResult struct {
 // Copying the old station's microflows and wiring the inter-station tunnel
 // is the access layer's job; the dataplane package does both.
 func (c *Controller) Handoff(imsi string, newBS packet.BSID) (HandoffResult, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ueMu.Lock()
+	defer c.ueMu.Unlock()
 	ue, ok := c.ues[imsi]
 	if !ok || ue.LocIP == 0 {
 		return HandoffResult{}, fmt.Errorf("core: UE %q is not attached", imsi)
@@ -220,14 +222,16 @@ func (c *Controller) Handoff(imsi string, newBS packet.BSID) (HandoffResult, err
 	}
 	oldBS, oldLoc := ue.BS, ue.LocIP
 
+	c.allocMu.Lock()
 	id, loc, err := c.allocLocIP(newBS)
+	c.allocMu.Unlock()
 	if err != nil {
 		return HandoffResult{}, err
 	}
 	// The old LocIP stays mapped to this UE (reserved) for old flows.
 	ue.BS, ue.UEID, ue.LocIP = newBS, id, loc
 	c.byLoc[loc] = imsi
-	c.Handoffs++
+	c.handoffs.Add(1)
 	if err := c.persistUELocked(ue); err != nil {
 		return HandoffResult{}, err
 	}
@@ -238,9 +242,13 @@ func (c *Controller) Handoff(imsi string, newBS packet.BSID) (HandoffResult, err
 	// Reserve the vacated address and (re)target every reserved LocIP of
 	// this UE — including ones from earlier, still-unreleased handoffs — at
 	// the new station, so old-flow shortcuts never point at an intermediate
-	// station the UE has already left.
+	// station the UE has already left. Retargeting rewires switch rules, so
+	// it nests the rule-table lock inside the UE lock (the documented
+	// order).
 	c.reservations[oldLoc] = &reservation{imsi: imsi}
+	c.ruleMu.Lock()
 	res.Shortcuts = c.retargetReservationsLocked(imsi, newStation.Access)
+	c.ruleMu.Unlock()
 	return res, nil
 }
 
@@ -257,7 +265,10 @@ func branchPoint(rec *InstalledPath) (topo.NodeID, topo.MBInstanceID) {
 }
 
 // descendRoute computes the canonical descend route from a switch to an
-// access switch (the same function location rules follow).
+// access switch (the same function location rules follow). It reads the
+// Installer's spanning tree.
+//
+// caller holds ruleMu
 func (c *Controller) descendRoute(from, access topo.NodeID) ([]topo.NodeID, error) {
 	parent := c.Installer.tree(c.gateway)
 	chain := c.T.AncestorChain(access, parent)
@@ -292,8 +303,9 @@ func (c *Controller) descendRoute(from, access topo.NodeID) ([]topo.NodeID, erro
 // controller's own reservation tracking is authoritative (shortcuts may
 // have been retargeted by later handoffs).
 func (c *Controller) ReleaseOldLocIP(oldLoc packet.Addr, shortcuts []*Shortcut) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ueMu.Lock()
+	defer c.ueMu.Unlock()
+	c.ruleMu.Lock()
 	if rsv, ok := c.reservations[oldLoc]; ok {
 		for _, sc := range rsv.shortcuts {
 			c.Installer.RemoveShortcut(sc)
@@ -304,9 +316,12 @@ func (c *Controller) ReleaseOldLocIP(oldLoc packet.Addr, shortcuts []*Shortcut) 
 			c.Installer.RemoveShortcut(sc)
 		}
 	}
+	c.ruleMu.Unlock()
 	if bs, id, ok := c.plan.Split(oldLoc); ok {
 		if imsi, held := c.byLoc[oldLoc]; !held || c.ues[imsi] == nil || c.ues[imsi].LocIP != oldLoc {
+			c.allocMu.Lock()
 			c.freeUEIDs[bs] = append(c.freeUEIDs[bs], id)
+			c.allocMu.Unlock()
 			delete(c.byLoc, oldLoc)
 		}
 	}

@@ -22,22 +22,22 @@ var ErrNotOwned = errors.New("base station not owned by this controller")
 
 // ownsLocked reports whether the controller serves bs.
 //
-// caller holds mu
+// caller holds ueMu
 func (c *Controller) ownsLocked(bs packet.BSID) bool {
 	return c.owned == nil || c.owned[bs]
 }
 
 // Owns reports whether the controller serves bs.
 func (c *Controller) Owns(bs packet.BSID) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ueMu.RLock()
+	defer c.ueMu.RUnlock()
 	return c.ownsLocked(bs)
 }
 
 // Stations lists the controller's owned base stations; nil means all.
 func (c *Controller) Stations() []packet.BSID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ueMu.RLock()
+	defer c.ueMu.RUnlock()
 	if c.owned == nil {
 		return nil
 	}
@@ -60,20 +60,45 @@ type PathAnswer struct {
 	Err error
 }
 
-// RequestPathBatch resolves a batch of path requests under a single lock
-// acquisition. Shard workers dequeue requests in batches and answer them
-// through this call, so the per-request cost of the controller mutex is
-// amortised across the batch. out is reused when it has capacity.
+// RequestPathBatch resolves a batch of path requests. Shard workers
+// dequeue requests in batches and answer them through this call. The first
+// pass answers repeat requests from the tagCache snapshot with no lock and
+// no allocation; only the misses (marked by the tag-0 sentinel — a real
+// tag is never 0) pay for the ownership check and the rule-table lock, and
+// those locks are taken once per batch, not once per miss. out is reused
+// when it has capacity.
 func (c *Controller) RequestPathBatch(qs []PathQuery, out []PathAnswer) []PathAnswer {
 	if cap(out) < len(qs) {
 		out = make([]PathAnswer, len(qs))
 	}
 	out = out[:len(qs)]
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.pathAsks.Add(uint64(len(qs)))
+	tags := *c.tagCache.Load()
+	misses := 0
 	for i, q := range qs {
-		out[i].Tag, out[i].Err = c.requestPathLocked(q.BS, q.Clause)
+		out[i].Tag = tags[pathKey{q.BS, q.Clause}]
+		out[i].Err = nil
+		if out[i].Tag == 0 {
+			misses++
+		}
 	}
+	if misses == 0 {
+		return out
+	}
+	c.ueMu.RLock()
+	for i := range out {
+		if out[i].Tag == 0 && !c.ownsLocked(qs[i].BS) {
+			out[i].Err = fmt.Errorf("core: path request from base station %d: %w", qs[i].BS, ErrNotOwned)
+		}
+	}
+	c.ueMu.RUnlock()
+	c.ruleMu.Lock()
+	for i := range out {
+		if out[i].Tag == 0 && out[i].Err == nil {
+			out[i].Tag, out[i].Err = c.resolvePathLocked(qs[i].BS, qs[i].Clause)
+		}
+	}
+	c.ruleMu.Unlock()
 	return out
 }
 
@@ -93,10 +118,15 @@ type MigratedUE struct {
 // released — old-LocIP reservations and their shortcuts come down, since
 // the shortcut state lives in this controller's switches only — and the
 // record is deleted from the replicated store; the target controller
-// persists it again under its own state.
+// persists it again under its own state. The departure station's memoised
+// tags are dropped so nothing cached spans the migration.
 func (c *Controller) ExtractUE(imsi string) (MigratedUE, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ueMu.Lock()
+	defer c.ueMu.Unlock()
+	c.allocMu.Lock()
+	defer c.allocMu.Unlock()
+	c.ruleMu.Lock()
+	defer c.ruleMu.Unlock()
 	ue, ok := c.ues[imsi]
 	if !ok {
 		return MigratedUE{}, fmt.Errorf("core: unknown UE %q", imsi)
@@ -120,6 +150,7 @@ func (c *Controller) ExtractUE(imsi string) (MigratedUE, error) {
 	}
 	delete(c.byPerm, ue.PermIP)
 	delete(c.ues, imsi)
+	c.invalidateStationLocked(m.OldBS)
 	if _, err := c.Store.Delete("ue/" + imsi); err != nil {
 		return MigratedUE{}, err
 	}
@@ -132,8 +163,8 @@ func (c *Controller) ExtractUE(imsi string) (MigratedUE, error) {
 // classifiers are compiled against this controller's path table — so the
 // UE's policy paths keep resolving, now through its new shard.
 func (c *Controller) AdoptUE(m MigratedUE, bs packet.BSID) (UE, []Classifier, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ueMu.Lock()
+	defer c.ueMu.Unlock()
 	if _, ok := c.T.Station(bs); !ok {
 		return UE{}, nil, fmt.Errorf("core: unknown base station %d", bs)
 	}
@@ -146,7 +177,9 @@ func (c *Controller) AdoptUE(m MigratedUE, bs packet.BSID) (UE, []Classifier, er
 	if _, ok := c.subscribers[m.IMSI]; !ok {
 		c.subscribers[m.IMSI] = m.Attr
 	}
+	c.allocMu.Lock()
 	id, loc, err := c.allocLocIP(bs)
+	c.allocMu.Unlock()
 	if err != nil {
 		return UE{}, nil, err
 	}
@@ -154,7 +187,7 @@ func (c *Controller) AdoptUE(m MigratedUE, bs packet.BSID) (UE, []Classifier, er
 	c.ues[m.IMSI] = ue
 	c.byPerm[m.PermIP] = m.IMSI
 	c.byLoc[loc] = m.IMSI
-	c.Handoffs++
+	c.handoffs.Add(1)
 	if err := c.persistUELocked(ue); err != nil {
 		return UE{}, nil, err
 	}
@@ -165,16 +198,23 @@ func (c *Controller) AdoptUE(m MigratedUE, bs packet.BSID) (UE, []Classifier, er
 // given UE records verbatim (preserving each UE's reported UEID and LocIP,
 // exactly as RecoverLocations does) — the shard-failover path: a dead
 // shard's stations rehash to survivors, which rebuild the location state
-// from the replicated store and live agents' reports.
+// from the replicated store and live agents' reports. Any memoised tags
+// for the absorbed station are dropped: the first path request after the
+// move re-derives against this controller's own rule table.
 func (c *Controller) AbsorbStation(bs packet.BSID, ues []UE) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ueMu.Lock()
+	defer c.ueMu.Unlock()
 	if _, ok := c.T.Station(bs); !ok {
 		return fmt.Errorf("core: unknown base station %d", bs)
 	}
 	if c.owned != nil {
 		c.owned[bs] = true
 	}
+	c.ruleMu.Lock()
+	c.invalidateStationLocked(bs)
+	c.ruleMu.Unlock()
+	c.allocMu.Lock()
+	defer c.allocMu.Unlock()
 	for _, u := range ues {
 		if u.LocIP == 0 || u.UEID == 0 {
 			continue // detached record: nothing to rebuild

@@ -103,12 +103,12 @@ func TestControllerRemovePolicyPaths(t *testing.T) {
 	if _, err := c.RequestPath(0, webClause); err != nil {
 		t.Fatal(err)
 	}
-	misses := c.PathMiss
+	misses := c.Stats().PathMiss
 	tag2, err := c.RequestPath(0, videoClause)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.PathMiss != misses+1 {
+	if c.Stats().PathMiss != misses+1 {
 		t.Fatal("video path should have been re-installed")
 	}
 	_ = tagVideo

@@ -17,6 +17,7 @@
 package ctrlproto
 
 import (
+	"bufio"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -83,20 +84,28 @@ type frame struct {
 	payload []byte
 }
 
+// appendFrame serialises one frame onto buf.
+func appendFrame(buf []byte, f frame) ([]byte, error) {
+	if len(f.payload) > MaxFrame-headerBytes+4 {
+		return buf, fmt.Errorf("ctrlproto: payload %d bytes exceeds frame limit", len(f.payload))
+	}
+	var hdr [10]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(6+len(f.payload)))
+	hdr[4] = uint8(f.typ)
+	if f.resp {
+		hdr[5] = flagResponse
+	}
+	binary.BigEndian.PutUint32(hdr[6:10], f.reqID)
+	return append(append(buf, hdr[:]...), f.payload...), nil
+}
+
 // writeFrame serialises and writes one frame.
 func writeFrame(w io.Writer, f frame) error {
-	if len(f.payload) > MaxFrame-headerBytes+4 {
-		return fmt.Errorf("ctrlproto: payload %d bytes exceeds frame limit", len(f.payload))
+	buf, err := appendFrame(nil, f)
+	if err != nil {
+		return err
 	}
-	buf := make([]byte, 4+6+len(f.payload))
-	binary.BigEndian.PutUint32(buf[0:4], uint32(6+len(f.payload)))
-	buf[4] = uint8(f.typ)
-	if f.resp {
-		buf[5] = flagResponse
-	}
-	binary.BigEndian.PutUint32(buf[6:10], f.reqID)
-	copy(buf[10:], f.payload)
-	_, err := w.Write(buf)
+	_, err = w.Write(buf)
 	return err
 }
 
@@ -180,10 +189,18 @@ type HandoffRequest struct {
 }
 
 // conn is the symmetric framed connection with request correlation.
+// Outgoing frames group-commit: senders append to wbuf under bufMu, and
+// whichever sender wins writeMu next moves the whole buffer with a single
+// raw.Write. writeMu is always taken before bufMu, never the reverse.
 type conn struct {
 	raw net.Conn
+	// br buffers the read side so one transport read can deliver a whole
+	// batch of frames; only readLoop touches it.
+	br *bufio.Reader
 
-	writeMu sync.Mutex
+	writeMu sync.Mutex // serialises flushes of wbuf to raw
+	bufMu   sync.Mutex
+	wbuf    []byte // guarded by bufMu; frames awaiting the next flush
 	nextID  uint32
 
 	mu      sync.Mutex
@@ -193,13 +210,61 @@ type conn struct {
 }
 
 func newConn(raw net.Conn) *conn {
-	return &conn{raw: raw, pending: make(map[uint32]chan frame)}
+	return &conn{
+		raw:     raw,
+		br:      bufio.NewReaderSize(raw, 32<<10),
+		pending: make(map[uint32]chan frame),
+	}
 }
 
-func (c *conn) send(f frame) error {
+// buffer enqueues one frame for a later flush. Responders use it to
+// accumulate a batch of replies that a single flush then moves with one
+// Write; request senders go through send, which flushes immediately.
+func (c *conn) buffer(f frame) error {
+	c.bufMu.Lock()
+	defer c.bufMu.Unlock()
+	buf, err := appendFrame(c.wbuf, f)
+	if err != nil {
+		return err
+	}
+	c.wbuf = buf
+	return nil
+}
+
+// flush moves every buffered frame to the wire in a single Write.
+// Concurrent flushers coalesce: while one flusher's Write is in flight
+// under writeMu, other senders append to wbuf and the next flusher moves
+// them all at once — so a connection with a deep request pipeline pays one
+// write rendezvous per batch, not per frame. Finding the buffer empty
+// after taking writeMu means an earlier flusher already carried (and
+// wrote) this sender's frame; a write error on a carried batch surfaces to
+// that flusher, and to everyone else when the dead connection fails their
+// next read or write.
+func (c *conn) flush() error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	return writeFrame(c.raw, f)
+	c.bufMu.Lock()
+	out := c.wbuf
+	c.wbuf = nil
+	c.bufMu.Unlock()
+	if len(out) == 0 {
+		return nil
+	}
+	_, err := c.raw.Write(out)
+	c.bufMu.Lock()
+	if c.wbuf == nil {
+		c.wbuf = out[:0] // recycle the batch buffer while the line is idle
+	}
+	c.bufMu.Unlock()
+	return err
+}
+
+// send enqueues one frame and flushes the write buffer.
+func (c *conn) send(f frame) error {
+	if err := c.buffer(f); err != nil {
+		return err
+	}
+	return c.flush()
 }
 
 // request issues a request and blocks for its response.
@@ -239,7 +304,7 @@ func (c *conn) request(typ MsgType, payload []byte) (frame, error) {
 	return f, nil
 }
 
-// respond sends a response frame for reqID.
+// respond sends a response frame for reqID and flushes it immediately.
 func (c *conn) respond(reqID uint32, typ MsgType, payload []byte) error {
 	return c.send(frame{typ: typ, resp: true, reqID: reqID, payload: payload})
 }
@@ -248,11 +313,22 @@ func (c *conn) respondError(reqID uint32, err error) error {
 	return c.respond(reqID, MsgError, []byte(err.Error()))
 }
 
+// reply enqueues a response frame without flushing. The server answers
+// pipelined requests with reply and flushes once the connection goes
+// idle, so a burst of n requests costs one response write, not n.
+func (c *conn) reply(reqID uint32, typ MsgType, payload []byte) error {
+	return c.buffer(frame{typ: typ, resp: true, reqID: reqID, payload: payload})
+}
+
+func (c *conn) replyError(reqID uint32, err error) error {
+	return c.reply(reqID, MsgError, []byte(err.Error()))
+}
+
 // readLoop dispatches incoming frames: responses to waiters, requests to
 // handle. It runs until the connection dies.
 func (c *conn) readLoop(handle func(frame)) {
 	for {
-		f, err := readFrame(c.raw)
+		f, err := readFrame(c.br)
 		if err != nil {
 			c.fail(err)
 			return

@@ -86,16 +86,36 @@ func (s *Server) serveConn(raw net.Conn) {
 	if workers <= 0 {
 		workers = 8
 	}
-	sem := make(chan struct{}, workers)
+	// A fixed pool of workers drains a buffered per-connection frame queue.
+	// Compared to spawning a goroutine per frame, the pool costs nothing to
+	// keep warm, and the queue lets pipelined clients run ahead of the
+	// handlers — each scheduler pass moves a batch of frames instead of one.
+	//
+	// Replies are buffered, not written: inflight tracks frames read but not
+	// yet handled, and whichever worker drives it to zero flushes the whole
+	// accumulated batch in one Write. A client pipelining n requests pays one
+	// response rendezvous per burst instead of n — that amortisation is what
+	// makes deeper pipelines faster, not merely no slower.
+	var inflight atomic.Int64
+	frames := make(chan frame, 16*workers)
 	var wg sync.WaitGroup
-	c.readLoop(func(f frame) {
-		sem <- struct{}{}
-		wg.Add(1)
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
 		go func() {
-			defer func() { <-sem; wg.Done() }()
-			s.handle(c, f)
+			defer wg.Done()
+			for f := range frames {
+				s.handle(c, f)
+				if inflight.Add(-1) == 0 {
+					_ = c.flush()
+				}
+			}
 		}()
+	}
+	c.readLoop(func(f frame) {
+		inflight.Add(1)
+		frames <- f
 	})
+	close(frames)
 	wg.Wait()
 }
 
@@ -109,63 +129,63 @@ func (s *Server) handle(c *conn, f frame) {
 			s.conns[c] = bs
 			s.mu.Unlock()
 		}
-		_ = c.respond(f.reqID, MsgHello, nil)
+		_ = c.reply(f.reqID, MsgHello, nil)
 	case MsgEcho:
-		_ = c.respond(f.reqID, MsgEcho, f.payload)
+		_ = c.reply(f.reqID, MsgEcho, f.payload)
 	case MsgResolve:
 		if len(f.payload) != 4 {
-			_ = c.respondError(f.reqID, fmt.Errorf("resolve payload %d bytes", len(f.payload)))
+			_ = c.replyError(f.reqID, fmt.Errorf("resolve payload %d bytes", len(f.payload)))
 			return
 		}
 		perm := packet.Addr(uint32(f.payload[0])<<24 | uint32(f.payload[1])<<16 |
 			uint32(f.payload[2])<<8 | uint32(f.payload[3]))
 		loc, err := s.Ctrl.ResolveLocIP(perm)
 		if err != nil {
-			_ = c.respondError(f.reqID, err)
+			_ = c.replyError(f.reqID, err)
 			return
 		}
 		b := make([]byte, 4)
 		b[0], b[1], b[2], b[3] = byte(loc>>24), byte(loc>>16), byte(loc>>8), byte(loc)
-		_ = c.respond(f.reqID, MsgResolve, b)
+		_ = c.reply(f.reqID, MsgResolve, b)
 	case MsgPathRequest:
 		req, err := parsePathRequest(f.payload)
 		if err != nil {
-			_ = c.respondError(f.reqID, err)
+			_ = c.replyError(f.reqID, err)
 			return
 		}
 		tag, err := s.Ctrl.RequestPath(req.BS, int(req.Clause))
 		if err != nil {
-			_ = c.respondError(f.reqID, err)
+			_ = c.replyError(f.reqID, err)
 			return
 		}
 		atomic.AddUint64(&s.Requests, 1)
-		_ = c.respond(f.reqID, MsgPathRequest, PathReply{Tag: tag}.marshal())
+		_ = c.reply(f.reqID, MsgPathRequest, PathReply{Tag: tag}.marshal())
 	case MsgAttach:
 		var req AttachRequest
 		if err := json.Unmarshal(f.payload, &req); err != nil {
-			_ = c.respondError(f.reqID, err)
+			_ = c.replyError(f.reqID, err)
 			return
 		}
 		ue, cls, err := s.Ctrl.Attach(req.IMSI, req.BS)
 		if err != nil {
-			_ = c.respondError(f.reqID, err)
+			_ = c.replyError(f.reqID, err)
 			return
 		}
-		_ = c.respond(f.reqID, MsgAttach, marshalJSON(AttachReply{UE: ue, Classifiers: cls}))
+		_ = c.reply(f.reqID, MsgAttach, marshalJSON(AttachReply{UE: ue, Classifiers: cls}))
 	case MsgHandoff:
 		var req HandoffRequest
 		if err := json.Unmarshal(f.payload, &req); err != nil {
-			_ = c.respondError(f.reqID, err)
+			_ = c.replyError(f.reqID, err)
 			return
 		}
 		res, err := s.Ctrl.Handoff(req.IMSI, req.NewBS)
 		if err != nil {
-			_ = c.respondError(f.reqID, err)
+			_ = c.replyError(f.reqID, err)
 			return
 		}
-		_ = c.respond(f.reqID, MsgHandoff, marshalJSON(res))
+		_ = c.reply(f.reqID, MsgHandoff, marshalJSON(res))
 	default:
-		_ = c.respondError(f.reqID, fmt.Errorf("unknown message type %s", f.typ))
+		_ = c.replyError(f.reqID, fmt.Errorf("unknown message type %s", f.typ))
 	}
 }
 

@@ -179,8 +179,8 @@ func TestSecondFlowIsCacheHit(t *testing.T) {
 	if st.CacheMiss != 1 || st.CacheHits != 1 {
 		t.Fatalf("agent stats = %+v, want 1 miss then 1 hit", st)
 	}
-	if net.Ctrl.PathMiss != 1 {
-		t.Fatalf("controller installed %d paths, want 1", net.Ctrl.PathMiss)
+	if st := net.Ctrl.Stats(); st.PathMiss != 1 {
+		t.Fatalf("controller installed %d paths, want 1", st.PathMiss)
 	}
 }
 

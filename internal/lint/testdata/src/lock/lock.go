@@ -66,3 +66,86 @@ type Sloppy struct {
 	data int // guarded by lock; want "not a sync mutex"
 	lock int
 }
+
+// Registry splits its state across three mutexes, each guarding its own
+// fields, with a documented acquisition order.
+//
+// lock ordering: idxMu, allocMu, tabMu
+type Registry struct {
+	idxMu   sync.RWMutex
+	allocMu sync.Mutex
+	tabMu   sync.Mutex
+
+	names map[string]int // guarded by idxMu
+	next  int            // guarded by allocMu
+	table []int          // guarded by tabMu
+}
+
+// Lookup takes only the read lock of the index mutex.
+func (r *Registry) Lookup(s string) int {
+	r.idxMu.RLock()
+	defer r.idxMu.RUnlock()
+	return r.names[s]
+}
+
+// Register nests the allocator and table locks inside the index lock, in
+// the documented order.
+func (r *Registry) Register(s string) int {
+	r.idxMu.Lock()
+	defer r.idxMu.Unlock()
+	r.allocMu.Lock()
+	id := r.next
+	r.next++
+	r.allocMu.Unlock()
+	r.names[s] = id
+	r.tabMu.Lock()
+	r.table = append(r.table, id)
+	r.tabMu.Unlock()
+	return id
+}
+
+// CrossGuard holds a mutex — just not the one guarding the field.
+func (r *Registry) CrossGuard() int {
+	r.tabMu.Lock()
+	defer r.tabMu.Unlock()
+	return r.next // want "Registry.next is guarded by allocMu"
+}
+
+// Reversed acquires the index lock while still holding the table lock.
+func (r *Registry) Reversed() {
+	r.tabMu.Lock()
+	defer r.tabMu.Unlock()
+	r.idxMu.Lock() // want "documented lock ordering is idxMu, allocMu, tabMu"
+	r.names["x"] = 0
+	r.idxMu.Unlock()
+}
+
+// Sequenced releases the table lock before taking the allocator lock:
+// out-of-order acquisitions are fine when nothing later-ranked is held.
+func (r *Registry) Sequenced() {
+	r.tabMu.Lock()
+	r.table = nil
+	r.tabMu.Unlock()
+	r.allocMu.Lock()
+	r.next = 0
+	r.allocMu.Unlock()
+}
+
+// innerHeld is documented to run under the table lock, so it must not
+// reach outward for an earlier-ranked mutex.
+//
+// caller holds tabMu
+func (r *Registry) innerHeld() {
+	r.allocMu.Lock() // want "acquires r.allocMu while holding r.tabMu"
+	r.next++
+	r.allocMu.Unlock()
+	r.table = append(r.table, 0)
+}
+
+// Misordered documents an ordering naming a non-mutex field.
+//
+// lock ordering: mu, gate
+type Misordered struct { // want "lock ordering names gate"
+	mu   sync.Mutex
+	gate int
+}

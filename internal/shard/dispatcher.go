@@ -28,8 +28,8 @@ type Config struct {
 	// Workers is the number of worker goroutines per shard (default 2).
 	Workers int
 	// Batch bounds how many queued requests one worker dequeues at a time
-	// (default 64); path requests inside a batch share one controller lock
-	// acquisition.
+	// (default 64); path requests inside a batch share one tag-cache
+	// snapshot, and only cache misses take the controller's rule-table lock.
 	Batch int
 
 	// Plan defaults to packet.DefaultPlan. PermPool (default

@@ -70,9 +70,11 @@ func putWork(w *work) {
 
 // Shard is one partition of the control plane: a restricted controller
 // owning a disjoint set of base stations, fed by a bounded work queue that
-// its workers drain in batches. The controller itself stays internally
-// locked, but with per-shard queues that lock is only ever contended by
-// this shard's few workers — never across shards.
+// its workers drain in batches. The controller synchronises internally
+// with fine-grained domain locks (UE state, allocation, rule table) and a
+// lock-free tag cache on the path-request fast path; per-shard queues mean
+// even those narrow locks are only ever contended by this shard's few
+// workers — never across shards.
 type Shard struct {
 	ID   int
 	Ctrl *core.Controller
@@ -121,8 +123,9 @@ func (s *Shard) do(w *work) {
 
 // worker drains the queue in batches: one blocking receive, then as many
 // non-blocking receives as the batch bound allows. Consecutive path
-// requests inside a batch resolve through a single controller lock
-// acquisition (core.RequestPathBatch).
+// requests inside a batch resolve through one core.RequestPathBatch call:
+// cached tags come from a single tag-cache snapshot and only the misses
+// pay a rule-table lock acquisition.
 func (s *Shard) worker() {
 	defer s.wg.Done()
 	var (
