@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint fuzz verify bench bench-shards profile clean
+.PHONY: all build test race vet lint fuzz verify bench bench-shards profile clean chaos cover
 
 all: verify
 
@@ -29,6 +29,28 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshal$$' -fuzztime $(FUZZTIME) ./internal/packet
 	$(GO) test -run '^$$' -fuzz '^FuzzEncodeDecode$$' -fuzztime $(FUZZTIME) ./internal/ctrlproto
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/ctrlproto
+	$(GO) test -run '^$$' -fuzz '^FuzzMatch$$' -fuzztime $(FUZZTIME) ./internal/switchsim
+
+# chaos runs a long seeded fault-injection soak (DESIGN.md §11). The
+# fixed-seed smoke run is part of tier-1 (`go test -race ./internal/chaos`
+# inside verify); this target is the extended schedule.
+chaos:
+	$(GO) run ./cmd/softcell-bench -mode chaos -seed 1 -events 5000
+
+# cover enforces the checked-in statement-coverage floor for the packages
+# whose invariants the chaos harness leans on. Raise the baseline in
+# results/coverage_baseline.txt when coverage grows; verify fails if a
+# change drops below it.
+cover:
+	@for pkg in internal/core internal/shard; do \
+		pct=$$($(GO) test -cover ./$$pkg | awk '{for (i=1;i<=NF;i++) if ($$i == "coverage:") {sub(/%/,"",$$(i+1)); print $$(i+1)}}'); \
+		base=$$(awk -v p="repro/$$pkg" '$$1 == p {print $$2}' results/coverage_baseline.txt); \
+		if [ -z "$$pct" ] || [ -z "$$base" ]; then echo "cover: no coverage or baseline for $$pkg"; exit 1; fi; \
+		echo "coverage $$pkg: $$pct% (baseline $$base%)"; \
+		if [ "$$(awk -v c="$$pct" -v b="$$base" 'BEGIN {print (c+0 >= b+0) ? 1 : 0}')" != "1" ]; then \
+			echo "FAIL: $$pkg coverage $$pct% fell below the $$base% baseline"; exit 1; \
+		fi; \
+	done
 
 # verify is the gate every change must pass.
 verify:
@@ -36,6 +58,7 @@ verify:
 	$(GO) run ./cmd/softcell-lint ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) cover
 
 # bench regenerates the committed controller sweep (§6.2): human-readable
 # table on stdout, machine-readable results/BENCH_controller.json on disk.

@@ -502,7 +502,13 @@ func (c *Controller) LookupByLocIP(loc packet.Addr) (UE, bool) {
 }
 
 // Detach releases a UE's location state (its permanent IP remains bound to
-// the IMSI, as in real cores).
+// the IMSI, as in real cores). Reserved old LocIPs from unfinished handoffs
+// stay reserved until their soft timeout (ReleaseOldLocIP), but their
+// shortcuts come down now: the shortcuts exist to steer the UE's old flows
+// to its current station, and a detached UE has neither flows nor delivery
+// microflows anywhere — a shortcut pointing into a station with no
+// microflows can combine with location rules into a forwarding loop for
+// the dead address.
 func (c *Controller) Detach(imsi string) error {
 	c.ueMu.Lock()
 	defer c.ueMu.Unlock()
@@ -517,6 +523,17 @@ func (c *Controller) Detach(imsi string) error {
 		c.allocMu.Unlock()
 		ue.LocIP, ue.UEID = 0, 0
 	}
+	c.ruleMu.Lock()
+	for _, rsv := range c.reservations {
+		if rsv.imsi != imsi {
+			continue
+		}
+		for _, sc := range rsv.shortcuts {
+			c.Installer.RemoveShortcut(sc)
+		}
+		rsv.shortcuts = nil
+	}
+	c.ruleMu.Unlock()
 	if _, err := c.Store.Delete("ue/" + imsi); err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/routing"
 	"repro/internal/topo"
@@ -51,12 +52,27 @@ func (c *Controller) recomputeLocked(rep FailureReport) (FailureReport, error) {
 	// Fresh planner: its distance fields and trees reference the old graph.
 	c.Planner = routing.NewPlanner(c.T)
 
+	// Deterministic replan order: install order drives tag assignment and
+	// prefix aggregation, so iterating the path map directly would make the
+	// rebuilt FIBs (and every tag handed out afterwards) run-dependent.
+	keys := make([]pathKey, 0, len(c.paths))
+	for key := range c.paths {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].bs != keys[j].bs {
+			return keys[i].bs < keys[j].bs
+		}
+		return keys[i].clause < keys[j].clause
+	})
+
 	type replanned struct {
 		key   pathKey
 		route *routing.Path
 	}
 	var keep []replanned
-	for key, rec := range c.paths {
+	for _, key := range keys {
+		rec := c.paths[key]
 		cl, ok := c.Policy.Clause(key.clause)
 		if !ok || !cl.Action.Allow {
 			rep.Unreachable++

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/packet"
+	"repro/internal/topo"
+)
+
+// This file is the controller half of the chaos harness's global invariant
+// checker (DESIGN.md §11): one call that cross-checks every piece of
+// controller state against every other — rule tables against installed
+// paths, the tag memo against the path map, the UE directory against the
+// address allocators, and §5's policy-consistency property for every
+// still-reserved old LocIP. internal/chaos runs it after every injected
+// fault; the -race stress tests run it at quiescence.
+
+// InvariantReport summarises what a CheckInvariants pass covered.
+type InvariantReport struct {
+	Paths        int // installed policy paths
+	Rules        int // net TCAM rules across all switches
+	Attached     int // UEs with live location state
+	Reservations int // still-reserved old LocIPs (in-flight handoffs)
+	// Tags holds every segment tag of every installed path, sorted. The
+	// shard runtime unions these across shards to check that the tag
+	// residue-class partition really kept the sub-spaces disjoint.
+	Tags []packet.Tag
+}
+
+// CheckInvariants verifies the controller's cross-cutting consistency
+// properties and returns a report of what it covered. The checks:
+//
+//   - UE directory coherence: ues/byLoc/byPerm agree, every LocIP splits to
+//     its UE's (station, UE ID), every attached station is owned, every UE
+//     has a subscriber record.
+//   - Allocator safety: no UE ID is simultaneously free and live (attached
+//     or reserved), and the free lists hold no duplicates — the invariant
+//     that breaks first if an address is ever double-freed.
+//   - Rule accounting: per-switch table sizes sum to the installer's net
+//     rule counter.
+//   - Tag memo agreement: every cached (station, clause) tag is the access
+//     tag of a currently installed path (the cache may lag the path map
+//     after a station migration, never the reverse).
+//   - Tag discipline: segment tags respect the shard's residue class, and
+//     no tag serves two paths of one origin (paper footnote 2).
+//   - FIB verification: for every installed path whose origin station has
+//     no in-flight handoff, walking the rule tables reproduces the
+//     requested switch/middlebox sequence in both directions.
+//   - §5 policy consistency: for every reserved old LocIP, downstream
+//     traffic still traverses the full middlebox chain of every policy
+//     path at its origin station, and is delivered at either the UE's new
+//     access switch (via shortcut) or the origin's (triangle routing).
+//
+// It takes all three lock domains in the documented order, so it can run
+// concurrently with live traffic; invariants hold at every quiescent point,
+// not only at shutdown.
+func (c *Controller) CheckInvariants() (InvariantReport, error) {
+	c.ueMu.RLock()
+	defer c.ueMu.RUnlock()
+	c.allocMu.Lock()
+	defer c.allocMu.Unlock()
+	c.ruleMu.Lock()
+	defer c.ruleMu.Unlock()
+
+	rep := InvariantReport{
+		Paths:        len(c.paths),
+		Reservations: len(c.reservations),
+	}
+
+	// Reservations: each names a live UE and a parseable address at an owned
+	// station. reservedBS marks stations with in-flight handoffs (their
+	// paths carry mobility overrides, so plain path verification is replaced
+	// by the §5 trace below); liveIDs marks (station, id) pairs that must
+	// not appear in the free lists.
+	reservedBS := make(map[packet.BSID]bool)
+	type stationID struct {
+		bs packet.BSID
+		id packet.UEID
+	}
+	liveIDs := make(map[stationID]packet.Addr)
+	for loc, rsv := range c.reservations {
+		ue, ok := c.ues[rsv.imsi]
+		if !ok {
+			return rep, fmt.Errorf("core: reservation %s names unknown UE %q", loc, rsv.imsi)
+		}
+		bs, id, ok := c.plan.Split(loc)
+		if !ok {
+			return rep, fmt.Errorf("core: reserved address %s is not a LocIP", loc)
+		}
+		if !c.ownsLocked(bs) {
+			return rep, fmt.Errorf("core: reservation %s at unowned station %d", loc, bs)
+		}
+		if holder, held := c.byLoc[loc]; !held || holder != rsv.imsi {
+			return rep, fmt.Errorf("core: reserved address %s not mapped to its UE %q in byLoc", loc, ue.IMSI)
+		}
+		reservedBS[bs] = true
+		liveIDs[stationID{bs, id}] = loc
+	}
+
+	// UE directory coherence.
+	for imsi, ue := range c.ues {
+		if ue.IMSI != imsi {
+			return rep, fmt.Errorf("core: UE record %q filed under IMSI %q", ue.IMSI, imsi)
+		}
+		if _, ok := c.subscribers[imsi]; !ok {
+			return rep, fmt.Errorf("core: UE %q has no subscriber record", imsi)
+		}
+		if holder, ok := c.byPerm[ue.PermIP]; !ok || holder != imsi {
+			return rep, fmt.Errorf("core: UE %q permanent address %s not mapped back to it", imsi, ue.PermIP)
+		}
+		if ue.LocIP == 0 {
+			continue
+		}
+		rep.Attached++
+		if holder, ok := c.byLoc[ue.LocIP]; !ok || holder != imsi {
+			return rep, fmt.Errorf("core: UE %q location %s not mapped back to it", imsi, ue.LocIP)
+		}
+		bs, id, ok := c.plan.Split(ue.LocIP)
+		if !ok || bs != ue.BS || id != ue.UEID {
+			return rep, fmt.Errorf("core: UE %q location %s does not embed (bs %d, id %d)", imsi, ue.LocIP, ue.BS, ue.UEID)
+		}
+		if !c.ownsLocked(ue.BS) {
+			return rep, fmt.Errorf("core: UE %q attached at unowned station %d", imsi, ue.BS)
+		}
+		if prev, dup := liveIDs[stationID{bs, id}]; dup {
+			return rep, fmt.Errorf("core: UE ID %d at station %d serves both %s and %s", id, bs, prev, ue.LocIP)
+		}
+		liveIDs[stationID{bs, id}] = ue.LocIP
+	}
+	for loc, imsi := range c.byLoc {
+		ue, ok := c.ues[imsi]
+		if !ok {
+			return rep, fmt.Errorf("core: byLoc %s names unknown UE %q", loc, imsi)
+		}
+		if ue.LocIP != loc {
+			if _, reserved := c.reservations[loc]; !reserved {
+				return rep, fmt.Errorf("core: byLoc %s -> %q is neither current nor reserved", loc, imsi)
+			}
+		}
+	}
+	for perm, imsi := range c.byPerm {
+		ue, ok := c.ues[imsi]
+		if !ok {
+			return rep, fmt.Errorf("core: byPerm %s names unknown UE %q", perm, imsi)
+		}
+		if ue.PermIP != perm {
+			return rep, fmt.Errorf("core: byPerm %s -> %q whose permanent address is %s", perm, imsi, ue.PermIP)
+		}
+	}
+
+	// Allocator safety: free lists hold no duplicates, nothing live, and
+	// nothing beyond the high-water mark.
+	for bs, free := range c.freeUEIDs {
+		seen := make(map[packet.UEID]bool, len(free))
+		for _, id := range free {
+			if seen[id] {
+				return rep, fmt.Errorf("core: UE ID %d at station %d double-freed", id, bs)
+			}
+			seen[id] = true
+			if id == 0 || id > c.nextUEID[bs] {
+				return rep, fmt.Errorf("core: free UE ID %d at station %d outside allocated range 1..%d", id, bs, c.nextUEID[bs])
+			}
+			if loc, live := liveIDs[stationID{bs, id}]; live {
+				return rep, fmt.Errorf("core: UE ID %d at station %d is both free and live (%s)", id, bs, loc)
+			}
+		}
+	}
+
+	// Rule accounting.
+	hw, sw := c.Installer.TableSizes()
+	rep.Rules = c.Installer.Stats().Rules
+	if hw.Total()+sw.Total() != rep.Rules {
+		return rep, fmt.Errorf("core: per-switch rules %d+%d != installer counter %d", hw.Total(), sw.Total(), rep.Rules)
+	}
+
+	// Tag memo: every cached entry must be the access tag of a live path.
+	for key, tag := range *c.tagCache.Load() {
+		rec, ok := c.paths[key]
+		if !ok {
+			return rep, fmt.Errorf("core: tag cache serves (bs %d, clause %d) = %d for a withdrawn path", key.bs, key.clause, tag)
+		}
+		if rec.AccessTag() != tag {
+			return rep, fmt.Errorf("core: tag cache serves (bs %d, clause %d) = %d, installed path has %d", key.bs, key.clause, tag, rec.AccessTag())
+		}
+	}
+
+	// Path records, tag discipline, and FIB verification.
+	stride, offset := c.Installer.Opts.TagStride, c.Installer.Opts.TagOffset
+	originTags := make(map[packet.BSID]map[packet.Tag]PathID)
+	for key, rec := range c.paths {
+		if rec.Origin != key.bs {
+			return rep, fmt.Errorf("core: path %d filed under station %d but originates at %d", rec.ID, key.bs, rec.Origin)
+		}
+		if !c.ownsLocked(key.bs) {
+			return rep, fmt.Errorf("core: path %d at unowned station %d", rec.ID, key.bs)
+		}
+		if len(rec.Tags) == 0 {
+			return rep, fmt.Errorf("core: path %d has no tags", rec.ID)
+		}
+		for _, tag := range rec.Tags {
+			rep.Tags = append(rep.Tags, tag)
+			if stride > 1 && int(tag)%stride != offset {
+				return rep, fmt.Errorf("core: path %d tag %d outside residue class %d (mod %d)", rec.ID, tag, offset, stride)
+			}
+			used := originTags[rec.Origin]
+			if used == nil {
+				used = make(map[packet.Tag]PathID)
+				originTags[rec.Origin] = used
+			}
+			if other, dup := used[tag]; dup && other != rec.ID {
+				return rep, fmt.Errorf("core: tag %d serves paths %d and %d at origin %d", tag, other, rec.ID, rec.Origin)
+			}
+			used[tag] = rec.ID
+		}
+		if reservedBS[key.bs] {
+			continue // mobility overrides rewrite this station's traces; checked below
+		}
+		if err := c.Installer.VerifyPath(rec); err != nil {
+			return rep, fmt.Errorf("core: path %d (bs %d, clause %d): %w", rec.ID, key.bs, key.clause, err)
+		}
+	}
+	sort.Slice(rep.Tags, func(i, j int) bool { return rep.Tags[i] < rep.Tags[j] })
+
+	// §5 policy consistency for in-flight handoffs: downstream traffic to a
+	// reserved old LocIP must still traverse the complete middlebox chain of
+	// every policy path at its origin station, and end at the UE's current
+	// access switch (shortcut) or the origin's (triangle via the tunnels).
+	for loc, rsv := range c.reservations {
+		originBS, _, _ := c.plan.Split(loc)
+		ue := c.ues[rsv.imsi]
+		allowed := map[topo.NodeID]bool{}
+		if st, ok := c.T.Station(originBS); ok {
+			allowed[st.Access] = true
+		}
+		// A still-attached UE's microflows claim the packet at its current
+		// access switch; a detached UE delivers nowhere, so its old-flow
+		// traffic must drain at the origin (its shortcuts came down with
+		// Detach).
+		curAccess := topo.None
+		if ue.LocIP != 0 {
+			if st, ok := c.T.Station(ue.BS); ok {
+				curAccess = st.Access
+				allowed[st.Access] = true
+			}
+		}
+		for key, rec := range c.paths {
+			if key.bs != originBS {
+				continue
+			}
+			events, last, err := c.Installer.TraceDeliver(Down, rec.Route.Gateway(), rec.GatewayTag(), loc, curAccess)
+			if err != nil {
+				return rep, fmt.Errorf("core: reserved %s on path %d: %w", loc, rec.ID, err)
+			}
+			var mbs []topo.MBInstanceID
+			for _, e := range events {
+				if e.MB != NoMB {
+					mbs = append(mbs, e.MB)
+				}
+			}
+			want := rec.Chain
+			if curAccess != topo.None && last == curAccess && len(mbs) < len(rec.Chain) {
+				// The path's route transits the UE's current access switch
+				// before the chain completes; the exact-match microflows
+				// there outrank every TCAM rule and claim the packet on
+				// arrival. Early delivery is what the dataplane does, so
+				// require only that the chain traversed so far is a prefix
+				// of the policy sequence (nothing skipped *and* reordered).
+				want = rec.Chain[:len(mbs)]
+			}
+			if len(mbs) != len(want) {
+				return rep, fmt.Errorf("core: reserved %s on path %d traversed middleboxes %v, want %v (policy sequence broken by handoff)",
+					loc, rec.ID, mbs, rec.Chain)
+			}
+			for i := range mbs {
+				if mbs[i] != want[i] {
+					return rep, fmt.Errorf("core: reserved %s on path %d traversed middleboxes %v, want %v (policy sequence broken by handoff)",
+						loc, rec.ID, mbs, rec.Chain)
+				}
+			}
+			if !allowed[last] {
+				return rep, fmt.Errorf("core: reserved %s on path %d delivered at switch %d, want the UE's current or origin access switch", loc, rec.ID, last)
+			}
+		}
+	}
+
+	return rep, nil
+}
+
+// UEs snapshots every UE record (attached or not), sorted by IMSI. The
+// shard runtime's cross-shard invariant checks enumerate controllers
+// through it.
+func (c *Controller) UEs() []UE {
+	c.ueMu.RLock()
+	defer c.ueMu.RUnlock()
+	out := make([]UE, 0, len(c.ues))
+	for _, ue := range c.ues {
+		out = append(out, *ue)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IMSI < out[j].IMSI })
+	return out
+}

@@ -306,7 +306,8 @@ func (c *Controller) ReleaseOldLocIP(oldLoc packet.Addr, shortcuts []*Shortcut) 
 	c.ueMu.Lock()
 	defer c.ueMu.Unlock()
 	c.ruleMu.Lock()
-	if rsv, ok := c.reservations[oldLoc]; ok {
+	rsv, reserved := c.reservations[oldLoc]
+	if reserved {
 		for _, sc := range rsv.shortcuts {
 			c.Installer.RemoveShortcut(sc)
 		}
@@ -317,6 +318,12 @@ func (c *Controller) ReleaseOldLocIP(oldLoc packet.Addr, shortcuts []*Shortcut) 
 		}
 	}
 	c.ruleMu.Unlock()
+	if !reserved {
+		// Already released, or the UE migrated away (ExtractUE tears down
+		// reservations and frees their IDs itself). Freeing again would hand
+		// the same (station, UE ID) — the same LocIP — to two devices.
+		return
+	}
 	if bs, id, ok := c.plan.Split(oldLoc); ok {
 		if imsi, held := c.byLoc[oldLoc]; !held || c.ues[imsi] == nil || c.ues[imsi].LocIP != oldLoc {
 			c.allocMu.Lock()

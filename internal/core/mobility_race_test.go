@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/policy"
+)
+
+// TestHandoffDuringSwitchFailureReconverges races UE handoffs against
+// switch failure/recovery recomputations. Each recomputation rebuilds the
+// installer and the path map wholesale while handoffs are concurrently
+// allocating addresses and retargeting reservation shortcuts; afterwards
+// the tag cache, the installed-path map, and the rule tables must agree
+// again — exactly what CheckInvariants asserts. Run under -race by `make
+// verify`, this is the reconvergence half of the chaos harness distilled
+// to two actors.
+func TestHandoffDuringSwitchFailureReconverges(t *testing.T) {
+	c, n := testController(t)
+	const nUE = 8
+	imsis := make([]string, nUE)
+	for i := range imsis {
+		imsis[i] = fmt.Sprintf("imsi-%d", i)
+		if err := c.RegisterSubscriber(imsis[i], policy.Attributes{Provider: "A"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Attach(imsis[i], packet.BSID(i%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clauses := allowClauses(c.Policy)
+	for bs := packet.BSID(0); bs < 4; bs++ {
+		if _, err := c.RequestPath(bs, clauses[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	iters := 150
+	if testing.Short() {
+		iters = 30
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				_, _ = c.Handoff(imsis[rng.Intn(nUE)], packet.BSID(rng.Intn(4)))
+			}
+		}(int64(g))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := c.FailSwitch(n.cs3); err != nil {
+				t.Errorf("FailSwitch: %v", err)
+				return
+			}
+			if _, err := c.RecoverSwitch(n.cs3); err != nil {
+				t.Errorf("RecoverSwitch: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Quiesce: expire every reserved old LocIP, then demand full global
+	// consistency.
+	c.ueMu.RLock()
+	reserved := make([]packet.Addr, 0, len(c.reservations))
+	for loc := range c.reservations {
+		reserved = append(reserved, loc)
+	}
+	c.ueMu.RUnlock()
+	for _, loc := range reserved {
+		c.ReleaseOldLocIP(loc, nil)
+	}
+	rep, err := c.CheckInvariants()
+	if err != nil {
+		t.Fatalf("invariants after handoff/failure race: %v", err)
+	}
+	if rep.Reservations != 0 {
+		t.Fatalf("reservations leaked: %d", rep.Reservations)
+	}
+	// With the dust settled the controller answers every combination again.
+	for bs := packet.BSID(0); bs < 4; bs++ {
+		for _, cl := range clauses {
+			if tag, err := c.RequestPath(bs, cl); err != nil || tag == 0 {
+				t.Fatalf("RequestPath(%d, %d): tag %d, %v", bs, cl, tag, err)
+			}
+		}
+	}
+}
+
+// TestDetachRemovesReservationShortcuts is the regression test for the
+// forwarding loop the chaos harness found: a UE that detaches while an old
+// LocIP is still reserved has no delivery microflows anywhere, so leaving
+// its reservation shortcuts installed could combine a shortcut hop rule
+// with a path's location rule into a loop for the dead address. Detach must
+// tear the shortcuts down (the reservation itself stays until release).
+func TestDetachRemovesReservationShortcuts(t *testing.T) {
+	c, _ := testController(t)
+	if err := c.RegisterSubscriber("imsi-sc", policy.Attributes{Provider: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Attach("imsi-sc", 0); err != nil {
+		t.Fatal(err)
+	}
+	clauses := allowClauses(c.Policy)
+	for _, cl := range clauses {
+		if _, err := c.RequestPath(0, cl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.Handoff("imsi-sc", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shortcuts) == 0 {
+		t.Fatal("handoff installed no shortcuts; the regression needs them")
+	}
+	if err := c.Detach("imsi-sc"); err != nil {
+		t.Fatal(err)
+	}
+	c.ueMu.RLock()
+	c.ruleMu.Lock()
+	rsv, ok := c.reservations[res.OldLocIP]
+	var left int
+	if ok {
+		left = len(rsv.shortcuts)
+	}
+	c.ruleMu.Unlock()
+	c.ueMu.RUnlock()
+	if !ok {
+		t.Fatal("reservation should survive Detach until ReleaseOldLocIP")
+	}
+	if left != 0 {
+		t.Fatalf("%d reservation shortcuts still installed after Detach", left)
+	}
+	if _, err := c.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after detach-mid-handoff: %v", err)
+	}
+	c.ReleaseOldLocIP(res.OldLocIP, nil)
+	if _, err := c.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after release: %v", err)
+	}
+}
+
+// TestReleaseAfterExtractDoesNotDoubleFree: extracting a UE for migration
+// frees its addresses (including reserved old LocIPs); the old shard's
+// pending ReleaseOldLocIP timer may still fire afterwards. The release must
+// notice the reservation is gone and not free the UE ID a second time —
+// the allocator-safety invariant catches the double-free directly.
+func TestReleaseAfterExtractDoesNotDoubleFree(t *testing.T) {
+	c, _ := testController(t)
+	if err := c.RegisterSubscriber("imsi-mig", policy.Attributes{Provider: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Attach("imsi-mig", 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Handoff("imsi-mig", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExtractUE("imsi-mig"); err != nil {
+		t.Fatal(err)
+	}
+	// The stale timer fires after the migration already freed everything.
+	c.ReleaseOldLocIP(res.OldLocIP, nil)
+	if _, err := c.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after stale release: %v", err)
+	}
+	// The freed IDs must be reusable without collision.
+	for i := 0; i < 3; i++ {
+		imsi := fmt.Sprintf("imsi-re%d", i)
+		if err := c.RegisterSubscriber(imsi, policy.Attributes{Provider: "A"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Attach(imsi, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after re-attach: %v", err)
+	}
+}

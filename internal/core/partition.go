@@ -144,6 +144,10 @@ func (c *Controller) ExtractUE(imsi string) (MigratedUE, error) {
 			c.Installer.RemoveShortcut(sc)
 		}
 		delete(c.reservations, loc)
+		// The reserved address is still mapped to this UE in byLoc (Handoff
+		// keeps it there for in-flight downstream flows); drop the mapping or
+		// it would dangle after the record below is deleted.
+		delete(c.byLoc, loc)
 		if bs, id, ok := c.plan.Split(loc); ok {
 			c.freeUEIDs[bs] = append(c.freeUEIDs[bs], id)
 		}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/topo"
+)
+
+// randChain draws a random middlebox chain (possibly empty) without
+// consecutive repeats, which the planner would collapse anyway.
+func randChain(rng *rand.Rand, mbTypes int) []topo.MBType {
+	m := rng.Intn(3)
+	chain := make([]topo.MBType, m)
+	for j := range chain {
+		chain[j] = topo.MBType(rng.Intn(mbTypes))
+		for j > 0 && chain[j] == chain[j-1] {
+			chain[j] = topo.MBType(rng.Intn(mbTypes))
+		}
+	}
+	return chain
+}
+
+// candidateCosts replays Algorithm 1's tag-selection inputs for a path
+// about to be installed: the candidate tag set for its (single) segment and
+// the rule cost of each candidate. It must run before InstallPath (the
+// costs read the current FIB state) and copies every scratch slice it
+// touches. Multi-segment (loop) paths are skipped — their per-segment
+// choices interact through the taken set.
+func candidateCosts(in *Installer, p *routing.Path) (cands []packet.Tag, costs []int, ok bool) {
+	bs, found := in.T.Station(p.Origin)
+	if !found {
+		return nil, nil, false
+	}
+	prefix, err := in.plan.BSPrefix(p.Origin)
+	if err != nil {
+		return nil, nil, false
+	}
+	down := append([]step(nil), expandSteps(p, Down, nil)...)
+	up := append([]step(nil), expandSteps(p, Up, nil)...)
+	if len(in.findCuts(down, up, p.Len())) != 0 {
+		return nil, nil, false
+	}
+	canon := in.canonFor(p, bs.Access)
+	chainKey := routing.ChainKey(p.Gateway(), p.Chain)
+	cands = append([]packet.Tag(nil), in.candidateTags(p, chainKey, 0, nil)...)
+	for _, t := range cands {
+		costs = append(costs, in.costForTag(down, up, t, prefix, canon))
+	}
+	return cands, costs, true
+}
+
+// TestQuickTagChoiceIsCheapestCandidate is the Algorithm 1 optimality
+// property: for random policy/path sets, the tag InstallPath picks never
+// needs more new rules than any single candidate tag would have.
+func TestQuickTagChoiceIsCheapestCandidate(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := topo.Generate(topo.GenParams{K: 2, ClusterSize: 4, MBTypes: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := mustInstaller(t, g.Topology, InstallerOptions{})
+		pl := routing.NewPlanner(g.Topology)
+		for i := 0; i < 25; i++ {
+			route, err := pl.Plan(packet.BSID(rng.Intn(len(g.Stations))), randChain(rng, 3), g.GatewayID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cands, costs, single := candidateCosts(in, route)
+			rec, err := in.InstallPath(route)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !single || len(cands) == 0 {
+				continue // fresh tag by necessity, nothing to compare
+			}
+			chosen := -1
+			for j, tg := range cands {
+				if tg == rec.Tags[0] {
+					chosen = j
+					break
+				}
+			}
+			if chosen < 0 {
+				t.Fatalf("seed %d path %d: chose fresh tag %d despite candidates %v", seed, i, rec.Tags[0], cands)
+			}
+			for j, c := range costs {
+				if costs[chosen] > c {
+					t.Fatalf("seed %d path %d: chose tag %d (cost %d) over tag %d (cost %d)",
+						seed, i, cands[chosen], costs[chosen], cands[j], c)
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAggregationForwardingEquivalent: for random policy/path sets,
+// prefix aggregation must be behaviour-preserving — every path installed by
+// the aggregating installer and by the NoPrefixAggregation ablation walks
+// to the same requested switch/middlebox sequence (VerifyPath pins both
+// tables to the same spec, hence to each other), and aggregation never
+// costs extra rules.
+func TestQuickAggregationForwardingEquivalent(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := topo.Generate(topo.GenParams{K: 2, ClusterSize: 4, MBTypes: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg := mustInstaller(t, g.Topology, InstallerOptions{})
+		flat := mustInstaller(t, g.Topology, InstallerOptions{NoPrefixAggregation: true})
+		pl := routing.NewPlanner(g.Topology)
+		for i := 0; i < 20; i++ {
+			route, err := pl.Plan(packet.BSID(rng.Intn(len(g.Stations))), randChain(rng, 3), g.GatewayID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ra, err := agg.InstallPath(route)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rf, err := flat.InstallPath(route)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := agg.VerifyPath(ra); err != nil {
+				t.Fatalf("seed %d path %d (aggregated): %v", seed, i, err)
+			}
+			if err := flat.VerifyPath(rf); err != nil {
+				t.Fatalf("seed %d path %d (flat): %v", seed, i, err)
+			}
+		}
+		ahw, asw := agg.TableSizes()
+		fhw, fsw := flat.TableSizes()
+		if ahw.Total()+asw.Total() > fhw.Total()+fsw.Total() {
+			t.Fatalf("seed %d: aggregation used more rules (%d) than the flat tables (%d)",
+				seed, ahw.Total()+asw.Total(), fhw.Total()+fsw.Total())
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

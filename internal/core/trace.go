@@ -25,6 +25,16 @@ type TraceEvent struct {
 // Trace is the verification primitive behind DESIGN.md §6's "walking the
 // rule tables reproduces the requested switch/middlebox sequence".
 func (in *Installer) Trace(dir Direction, from topo.NodeID, tag packet.Tag, loc packet.Addr) ([]TraceEvent, topo.NodeID, error) {
+	return in.TraceDeliver(dir, from, tag, loc, topo.None)
+}
+
+// TraceDeliver is Trace with one extra downstream delivery point: a handed-
+// off UE's microflows live at its *current* access switch, not the one its
+// reserved old LocIP embeds, so a walk for such an address must also stop
+// where those microflows would claim the packet (they outrank every TCAM
+// rule). The invariant checker passes the UE's current access here when
+// verifying §5's old-flow policy consistency.
+func (in *Installer) TraceDeliver(dir Direction, from topo.NodeID, tag packet.Tag, loc packet.Addr, also topo.NodeID) ([]TraceEvent, topo.NodeID, error) {
 	bsPfx := packet.NewPrefix(loc, in.plan.Carrier.Len+in.plan.BSBits)
 	// Downstream delivery happens at the destination's access switch via
 	// exact-match microflows that outrank every TCAM rule, so the walk must
@@ -43,7 +53,7 @@ func (in *Installer) Trace(dir Direction, from topo.NodeID, tag packet.Tag, loc 
 	var events []TraceEvent
 	events = append(events, TraceEvent{Switch: cur, MB: NoMB})
 	for hops := 0; hops < 4*len(in.T.Nodes)+16; hops++ {
-		if dir == Down && cur == deliverAt && ctx == NoMB {
+		if dir == Down && ctx == NoMB && (cur == deliverAt || (also != topo.None && cur == also)) {
 			return events, cur, nil
 		}
 		f := in.fibs[cur]

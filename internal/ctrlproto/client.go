@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/packet"
@@ -18,6 +19,15 @@ type Client struct {
 	// Reporter answers the controller's location queries during failover
 	// recovery (§5.2). Nil clients answer with an empty report.
 	Reporter func() core.AgentLocationReport
+
+	// Timeout and Attempts configure per-request retransmission over lossy
+	// transports (the chaos harness's faulty links): a request unanswered
+	// within Timeout is resent with the same request id, up to Attempts
+	// sends, then fails with ErrTimeout. The zero values keep the default
+	// behaviour — one send that blocks until the connection dies. Set them
+	// before issuing requests; they are read without synchronisation.
+	Timeout  time.Duration
+	Attempts int
 }
 
 // NewClient wraps an established connection and starts its read loop.
@@ -38,6 +48,11 @@ func Dial(network, addr string) (*Client, error) {
 
 // Close tears the connection down.
 func (cl *Client) Close() error { return cl.c.Close() }
+
+// request issues one correlated request under the client's retry policy.
+func (cl *Client) request(typ MsgType, payload []byte) (frame, error) {
+	return cl.c.requestRetry(typ, payload, cl.Timeout, cl.Attempts)
+}
 
 // handle serves controller-initiated requests.
 func (cl *Client) handle(f frame) {
@@ -63,13 +78,13 @@ func errUnexpected(t MsgType) error { return unexpectedError{t} }
 func (cl *Client) Hello(bs packet.BSID) error {
 	b := make([]byte, 4)
 	binary.BigEndian.PutUint32(b, uint32(bs))
-	_, err := cl.c.request(MsgHello, b)
+	_, err := cl.request(MsgHello, b)
 	return err
 }
 
 // Echo round-trips a payload (latency probes).
 func (cl *Client) Echo(payload []byte) ([]byte, error) {
-	f, err := cl.c.request(MsgEcho, payload)
+	f, err := cl.request(MsgEcho, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +96,7 @@ func (cl *Client) Echo(payload []byte) ([]byte, error) {
 func (cl *Client) ResolveLocIP(perm packet.Addr) (packet.Addr, error) {
 	b := make([]byte, 4)
 	binary.BigEndian.PutUint32(b, uint32(perm))
-	f, err := cl.c.request(MsgResolve, b)
+	f, err := cl.request(MsgResolve, b)
 	if err != nil {
 		return 0, err
 	}
@@ -93,7 +108,7 @@ func (cl *Client) ResolveLocIP(perm packet.Addr) (packet.Addr, error) {
 
 // RequestPath implements agent.ControllerClient over the wire.
 func (cl *Client) RequestPath(bs packet.BSID, clause int) (packet.Tag, error) {
-	f, err := cl.c.request(MsgPathRequest, PathRequest{BS: bs, Clause: uint32(clause)}.marshal())
+	f, err := cl.request(MsgPathRequest, PathRequest{BS: bs, Clause: uint32(clause)}.marshal())
 	if err != nil {
 		return 0, err
 	}
@@ -106,7 +121,7 @@ func (cl *Client) RequestPath(bs packet.BSID, clause int) (packet.Tag, error) {
 
 // Attach admits a UE through the controller.
 func (cl *Client) Attach(imsi string, bs packet.BSID) (core.UE, []core.Classifier, error) {
-	f, err := cl.c.request(MsgAttach, marshalJSON(AttachRequest{IMSI: imsi, BS: bs}))
+	f, err := cl.request(MsgAttach, marshalJSON(AttachRequest{IMSI: imsi, BS: bs}))
 	if err != nil {
 		return core.UE{}, nil, err
 	}
@@ -119,7 +134,7 @@ func (cl *Client) Attach(imsi string, bs packet.BSID) (core.UE, []core.Classifie
 
 // Handoff moves a UE through the controller.
 func (cl *Client) Handoff(imsi string, newBS packet.BSID) (core.HandoffResult, error) {
-	f, err := cl.c.request(MsgHandoff, marshalJSON(HandoffRequest{IMSI: imsi, NewBS: newBS}))
+	f, err := cl.request(MsgHandoff, marshalJSON(HandoffRequest{IMSI: imsi, NewBS: newBS}))
 	if err != nil {
 		return core.HandoffResult{}, err
 	}

@@ -1,0 +1,143 @@
+package ctrlproto
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+)
+
+// FrameInfo describes one control frame as it crosses a FaultyConn, enough
+// for a fault schedule to target specific traffic (drop only requests, only
+// path replies, every third frame of a request id, ...).
+type FrameInfo struct {
+	Type  MsgType
+	Resp  bool
+	ReqID uint32
+}
+
+// FaultAction is a fault schedule's verdict on one frame.
+type FaultAction int
+
+const (
+	// FaultDeliver passes the frame through untouched.
+	FaultDeliver FaultAction = iota
+	// FaultDrop discards the frame.
+	FaultDrop
+	// FaultDuplicate delivers the frame twice back to back.
+	FaultDuplicate
+	// FaultHold delays the frame until the next delivered frame, so it
+	// arrives after traffic that was sent later (reordering).
+	FaultHold
+)
+
+// FaultyConn wraps a net.Conn and injects faults into the frames written
+// through it: each complete control frame in the outgoing byte stream is
+// shown to the decide callback, which may drop, duplicate, delay, or pass
+// it. Bytes that do not parse as frames (mid-frame fragments are buffered
+// until complete; garbage is possible only from a corrupt writer) pass
+// through verbatim. Reads are untouched, so wrapping the client side of a
+// connection faults the client->server direction only.
+//
+// The chaos harness (internal/chaos) drives decide from a seeded RNG to
+// exercise the client's retransmission and the server's duplicate handling
+// deterministically; the ctrlproto unit tests drive it with fixed scripts.
+type FaultyConn struct {
+	net.Conn
+	decide func(FrameInfo) FaultAction
+
+	mu      sync.Mutex
+	pending []byte // bytes written but not yet forming a complete frame
+	held    []byte // frames delayed by FaultHold, flushed after the next delivery
+}
+
+// NewFaultyConn wraps raw. decide is called once per outgoing frame, in
+// order; a nil decide delivers everything.
+func NewFaultyConn(raw net.Conn, decide func(FrameInfo) FaultAction) *FaultyConn {
+	if decide == nil {
+		decide = func(FrameInfo) FaultAction { return FaultDeliver }
+	}
+	return &FaultyConn{Conn: raw, decide: decide}
+}
+
+// Write buffers p, slices complete frames off the buffer, applies the fault
+// schedule to each, and forwards the survivors in one underlying write. It
+// always reports len(p) consumed: a dropped frame is a fault to inject, not
+// an error to surface.
+func (f *FaultyConn) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	f.pending = append(f.pending, p...)
+
+	var out []byte
+	delivered := false
+	for {
+		if len(f.pending) < 4 {
+			break
+		}
+		n := binary.BigEndian.Uint32(f.pending[:4])
+		if n < 6 || n > MaxFrame {
+			// Not a frame boundary we understand; stop interfering and
+			// flush everything (held frames first, to preserve at least
+			// their relative order) so the stream is not wedged.
+			out = append(out, f.held...)
+			out = append(out, f.pending...)
+			f.held = nil
+			f.pending = nil
+			f.mu.Unlock()
+			return f.forward(out, len(p))
+		}
+		total := 4 + int(n)
+		if len(f.pending) < total {
+			break
+		}
+		frame := f.pending[:total]
+		info := FrameInfo{
+			Type:  MsgType(frame[4]),
+			Resp:  frame[5]&flagResponse != 0,
+			ReqID: binary.BigEndian.Uint32(frame[6:10]),
+		}
+		switch f.decide(info) {
+		case FaultDrop:
+		case FaultDuplicate:
+			out = append(out, frame...)
+			out = append(out, frame...)
+			delivered = true
+		case FaultHold:
+			f.held = append(f.held, frame...)
+		default:
+			out = append(out, frame...)
+			delivered = true
+		}
+		f.pending = f.pending[total:]
+	}
+	if delivered && len(f.held) > 0 {
+		out = append(out, f.held...)
+		f.held = nil
+	}
+	// Compact so the retained buffer does not alias the whole history.
+	if len(f.pending) > 0 {
+		f.pending = append([]byte(nil), f.pending...)
+	} else {
+		f.pending = nil
+	}
+	f.mu.Unlock()
+	return f.forward(out, len(p))
+}
+
+func (f *FaultyConn) forward(out []byte, consumed int) (int, error) {
+	if len(out) == 0 {
+		return consumed, nil
+	}
+	if _, err := f.Conn.Write(out); err != nil {
+		return 0, err
+	}
+	return consumed, nil
+}
+
+// Close drops any held frames and closes the underlying connection.
+func (f *FaultyConn) Close() error {
+	f.mu.Lock()
+	f.held = nil
+	f.pending = nil
+	f.mu.Unlock()
+	return f.Conn.Close()
+}

@@ -26,6 +26,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/packet"
@@ -267,8 +268,30 @@ func (c *conn) send(f frame) error {
 	return c.flush()
 }
 
-// request issues a request and blocks for its response.
+// ErrTimeout marks a request whose retransmission budget ran out without a
+// response arriving.
+var ErrTimeout = errors.New("ctrlproto: request timed out")
+
+// request issues a request and blocks for its response (forever, if the
+// connection stays up but silent — the pre-fault-injection behaviour).
 func (c *conn) request(typ MsgType, payload []byte) (frame, error) {
+	return c.requestRetry(typ, payload, 0, 1)
+}
+
+// requestRetry issues a request and blocks for its response, retransmitting
+// with the SAME request id after each timeout until a response arrives or
+// attempts sends have gone unanswered. timeout <= 0 disables the timer (a
+// single send that blocks until the connection dies).
+//
+// Retransmission is idempotent at this layer: the pending entry stays
+// registered across resends, the first response delivers it, and the read
+// loop silently discards any later duplicates (their reqID no longer has a
+// waiter). Callers are responsible for only retrying operations the remote
+// side can absorb twice.
+func (c *conn) requestRetry(typ MsgType, payload []byte, timeout time.Duration, attempts int) (frame, error) {
+	if attempts <= 0 {
+		attempts = 1
+	}
 	id := atomic.AddUint32(&c.nextID, 1)
 	ch := make(chan frame, 1)
 	c.mu.Lock()
@@ -282,13 +305,46 @@ func (c *conn) request(typ MsgType, payload []byte) (frame, error) {
 	}
 	c.pending[id] = ch
 	c.mu.Unlock()
-	if err := c.send(frame{typ: typ, reqID: id, payload: payload}); err != nil {
+	unregister := func() {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return frame{}, err
 	}
+	for try := 0; try < attempts; try++ {
+		if err := c.send(frame{typ: typ, reqID: id, payload: payload}); err != nil {
+			unregister()
+			return frame{}, err
+		}
+		if timeout <= 0 {
+			return c.await(ch)
+		}
+		timer := time.NewTimer(timeout)
+		select {
+		case f, ok := <-ch:
+			timer.Stop()
+			return c.finish(f, ok)
+		case <-timer.C:
+		}
+	}
+	unregister()
+	// A response racing the last timeout may already sit in the buffered
+	// channel; prefer it over the timeout error.
+	select {
+	case f, ok := <-ch:
+		return c.finish(f, ok)
+	default:
+	}
+	return frame{}, fmt.Errorf("%w after %d attempts", ErrTimeout, attempts)
+}
+
+// await blocks for the response (or connection death) on a pending channel.
+func (c *conn) await(ch chan frame) (frame, error) {
 	f, ok := <-ch
+	return c.finish(f, ok)
+}
+
+// finish translates a pending-channel delivery into the caller's result.
+func (c *conn) finish(f frame, ok bool) (frame, error) {
 	if !ok {
 		c.mu.Lock()
 		err := c.err

@@ -54,12 +54,14 @@ func DefaultRules() *Rules {
 	return &Rules{
 		LockPkgs: []string{
 			"repro/internal/agent",
+			"repro/internal/chaos",
 			"repro/internal/core",
 			"repro/internal/shard",
 			"repro/internal/store",
 			"repro/internal/switchsim",
 		},
 		DetermPkgs: []string{
+			"repro/internal/chaos",
 			"repro/internal/scenario",
 			"repro/internal/sim",
 			"repro/internal/simexp",
@@ -125,6 +127,12 @@ func DefaultRules() *Rules {
 				"repro/internal/core", "repro/internal/packet",
 				"repro/internal/routing", "repro/internal/topo",
 			},
+			"repro/internal/chaos": {
+				"repro/internal/core", "repro/internal/ctrlproto",
+				"repro/internal/packet", "repro/internal/policy",
+				"repro/internal/shard", "repro/internal/sim",
+				"repro/internal/topo",
+			},
 			"repro/internal/cbench": {
 				"repro/internal/agent", "repro/internal/core",
 				"repro/internal/ctrlproto", "repro/internal/packet",
@@ -146,7 +154,7 @@ func DefaultRules() *Rules {
 		WireRootPkgs:     []string{"repro/internal/ctrlproto"},
 		WireRootSuffixes: []string{"Request", "Reply", "Report", "Notify"},
 		WireRoots:        []string{"repro/internal/core.AgentLocationReport"},
-		ErrAllowNames: []string{"Close"},
+		ErrAllowNames:    []string{"Close"},
 		ErrAllowFuncs: []string{
 			"fmt.Print", "fmt.Printf", "fmt.Println",
 			"fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln",

@@ -113,10 +113,13 @@ func New(net *dataplane.Network, p Params) (*Runner, error) {
 		Net:      net,
 		Params:   p,
 		kernel:   sim.NewKernel(p.Seed),
-		rng:      rand.New(rand.NewSource(p.Seed + 1)),
 		attached: make(map[string]packet.BSID),
 		nextPort: 20000,
 	}
+	// Derive the schedule RNG from the kernel, like every other seeded
+	// component, so the stream is a pure function of (Seed, name) and stays
+	// independent of whatever else draws from the kernel's root.
+	r.rng = r.kernel.Fork("scenario-schedule")
 	for _, st := range net.T.Stations {
 		r.stations = append(r.stations, st.ID)
 	}

@@ -70,6 +70,7 @@ type Kernel struct {
 	now   Time
 	queue eventQueue
 	seq   uint64
+	seed  int64
 	rng   *rand.Rand
 
 	// Processed counts events executed so far.
@@ -78,7 +79,30 @@ type Kernel struct {
 
 // NewKernel returns a kernel whose random source is seeded with seed.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+	return &Kernel{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent deterministic random stream from the kernel
+// seed and a name. Equal (seed, name) pairs always yield the same stream,
+// and distinct names yield streams that stay independent regardless of how
+// many draws either consumes — so one subsystem's extra draws can never
+// perturb another subsystem's schedule. The kernel's own source (Rand) is
+// untouched.
+func (k *Kernel) Fork(name string) *rand.Rand {
+	// FNV-1a over the name, mixed with the seed (splitmix64 finaliser).
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	h += uint64(k.seed) * 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return rand.New(rand.NewSource(int64(h)))
 }
 
 // Now returns the current virtual time.
