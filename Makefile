@@ -35,14 +35,15 @@ fuzz:
 # fixed-seed smoke run is part of tier-1 (`go test -race ./internal/chaos`
 # inside verify); this target is the extended schedule.
 chaos:
-	$(GO) run ./cmd/softcell-bench -mode chaos -seed 1 -events 5000
+	$(GO) run ./cmd/softcell-bench -mode chaos -seed 1 -events 5000 \
+		-json results/BENCH_chaos.json
 
 # cover enforces the checked-in statement-coverage floor for the packages
 # whose invariants the chaos harness leans on. Raise the baseline in
 # results/coverage_baseline.txt when coverage grows; verify fails if a
 # change drops below it.
 cover:
-	@for pkg in internal/core internal/shard; do \
+	@for pkg in internal/core internal/obs internal/shard; do \
 		pct=$$($(GO) test -cover ./$$pkg | awk '{for (i=1;i<=NF;i++) if ($$i == "coverage:") {sub(/%/,"",$$(i+1)); print $$(i+1)}}'); \
 		base=$$(awk -v p="repro/$$pkg" '$$1 == p {print $$2}' results/coverage_baseline.txt); \
 		if [ -z "$$pct" ] || [ -z "$$base" ]; then echo "cover: no coverage or baseline for $$pkg"; exit 1; fi; \
@@ -76,6 +77,8 @@ profile:
 	$(GO) test -run '^$$' -bench 'BenchmarkRequestPath' -benchtime 2s \
 		-cpuprofile results/cpu.pprof -memprofile results/mem.pprof \
 		-o results/core.test ./internal/core
+	$(GO) test -run '^$$' -bench 'BenchmarkObsOverhead' -benchmem \
+		-o results/obs.test ./internal/obs | tee results/bench_obs.txt
 
 clean:
 	$(GO) clean ./...

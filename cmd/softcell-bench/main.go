@@ -22,6 +22,7 @@ import (
 	"repro/internal/cbench"
 	"repro/internal/chaos"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // benchPoint is one row of the machine-readable controller benchmark.
@@ -41,6 +42,38 @@ type benchReport struct {
 	DurationMS int64        `json:"duration_ms"`
 	GOMAXPROCS int          `json:"gomaxprocs"`
 	Points     []benchPoint `json:"points"`
+	// Obs is the cumulative telemetry snapshot across every sweep point
+	// (one registry spans the sweep; get-or-create registration merges the
+	// points into the same series).
+	Obs obs.Snapshot `json:"obs"`
+}
+
+// chaosReport is the BENCH_chaos.json schema: the run's configuration,
+// wall-clock throughput, fault/check tallies, and the registry snapshot.
+type chaosReport struct {
+	Seed         int64             `json:"seed"`
+	Events       int               `json:"events"`
+	EventsPerSec float64           `json:"events_per_sec"`
+	Ops          int               `json:"ops"`
+	OpErrors     int               `json:"op_errors"`
+	Checks       int               `json:"checks"`
+	Releases     int               `json:"releases"`
+	Faults       chaos.FaultCounts `json:"faults"`
+	Obs          obs.Snapshot      `json:"obs"`
+}
+
+// writeJSON renders v indented and writes it to path.
+func writeJSON(path string, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", path)
 }
 
 func main() {
@@ -51,7 +84,7 @@ func main() {
 		wire     = flag.Bool("wire", true, "drive the binary control protocol (false: in-process calls)")
 		rtt      = flag.Duration("rtt", 500*time.Microsecond, "simulated controller RTT for agent cache misses")
 		out      = flag.String("out", "", "with -mode shards: also write the sweep table to this file")
-		jsonOut  = flag.String("json", "", "with -mode controller: write the sweep as JSON to this file")
+		jsonOut  = flag.String("json", "", "with -mode controller or chaos: write the report as JSON to this file")
 
 		seed     = flag.Int64("seed", 1, "chaos: schedule seed")
 		events   = flag.Int("events", 2000, "chaos: schedule length in events")
@@ -74,6 +107,8 @@ func main() {
 		fmt.Printf("controller throughput (Cbench equivalent): %d emulated agents, %v per point, GOMAXPROCS=%d\n",
 			*agents, *duration, runtime.GOMAXPROCS(0))
 		tab := metrics.NewTable("workers", "requests", "requests/s", "allocs/op")
+		reg := obs.New()
+		reg.SetClock(func() int64 { return time.Now().UnixNano() })
 		report := benchReport{
 			Mode: "controller", Agents: *agents, OverWire: *wire,
 			DurationMS: duration.Milliseconds(), GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -81,6 +116,7 @@ func main() {
 		for _, workers := range []int{1, 2, 4, 8, 15} {
 			res, err := cbench.BenchController(cbench.ControllerOptions{
 				Agents: *agents, Workers: workers, Duration: *duration, OverWire: *wire,
+				Obs: reg,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
@@ -94,16 +130,8 @@ func main() {
 		}
 		fmt.Print(tab)
 		if *jsonOut != "" {
-			b, err := json.MarshalIndent(report, "", "  ")
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
-				os.Exit(1)
-			}
-			if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
-				os.Exit(1)
-			}
-			fmt.Printf("\nwrote %s\n", *jsonOut)
+			report.Obs = reg.Snapshot()
+			writeJSON(*jsonOut, report)
 		}
 		fmt.Println("\npaper: 2.2M requests/s at 15 threads on a dual Xeon W5580; absolute")
 		fmt.Println("numbers depend on the host, the shape (scaling with workers until the")
@@ -173,6 +201,8 @@ which regime this file was produced in.
 		}
 		fmt.Printf("chaos soak: seed=%d events=%d shards=%d ues=%d wire-fault-rate=%g\n",
 			*seed, *events, *shards, *ues, *wireRate)
+		reg := obs.New()
+		start := time.Now()
 		res, err := chaos.Run(chaos.Config{
 			Seed:          *seed,
 			Events:        *events,
@@ -189,6 +219,7 @@ which regime this file was produced in.
 				PolicyChurn:      *mixPol,
 			},
 			Trace: trace,
+			Obs:   reg,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "chaos: INVARIANT VIOLATION:", err)
@@ -209,6 +240,18 @@ which regime this file was produced in.
 		fmt.Printf("final state: %d live shards, %d paths, %d rules, %d attached UEs, %d reservations\n",
 			res.Final.Shards, res.Final.Paths, res.Final.Rules, res.Final.Attached, res.Final.Reservations)
 		fmt.Println("every invariant held; two runs with the same seed write identical traces.")
+		if *jsonOut != "" {
+			wall := time.Since(start)
+			rep := chaosReport{
+				Seed: *seed, Events: res.Events, Ops: res.Ops,
+				OpErrors: res.OpErrors, Checks: res.Checks, Releases: res.Releases,
+				Faults: res.Faults, Obs: reg.Snapshot(),
+			}
+			if wall > 0 {
+				rep.EventsPerSec = float64(res.Events) / wall.Seconds()
+			}
+			writeJSON(*jsonOut, rep)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)

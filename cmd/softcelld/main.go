@@ -15,16 +15,37 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"time"
 
 	softcell "repro"
 	"repro/internal/ctrlproto"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/policy"
 	"repro/internal/shard"
 	"repro/internal/topo"
 )
+
+// serveDebug exposes the registry's introspection endpoints (/metrics,
+// /debug/snapshot, /debug/events, /debug/pprof/) when addr is non-empty.
+func serveDebug(addr string, reg *obs.Registry) {
+	if addr == "" {
+		return
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("softcelld: debug endpoints on http://%s (/metrics /debug/snapshot /debug/events /debug/pprof/)", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, obs.DebugHandler(reg)); err != nil {
+			log.Printf("debug: %v", err)
+		}
+	}()
+}
 
 func main() {
 	var (
@@ -33,8 +54,14 @@ func main() {
 		emulate = flag.Int("emulate-agents", 0, "spawn this many wire-connected emulated agents")
 		ues     = flag.Int("ues", 100, "emulated subscribers to attach (with -emulate-agents)")
 		shards  = flag.Int("shards", 0, "partition the control plane across this many controller shards (0: single controller with data plane)")
+		debug   = flag.String("debug-addr", "", "serve Prometheus /metrics, pprof and trace-dump endpoints on this address (empty: disabled)")
 	)
 	flag.Parse()
+
+	// The daemon is the wall-clock edge: the registry timestamps trace
+	// events with real time here (sim/chaos runs inject virtual clocks).
+	reg := obs.New()
+	reg.SetClock(func() int64 { return time.Now().UnixNano() })
 
 	g, err := softcell.GenerateTopology(*k, 10, 3, 1)
 	if err != nil {
@@ -54,12 +81,15 @@ func main() {
 				policy.MBFirewall: 0, policy.MBTranscoder: 1, policy.MBEchoCancel: 2,
 			},
 			Shards: *shards,
+			Obs:    reg,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer d.Close()
 		srv := ctrlproto.NewServer(d)
+		srv.Instrument(reg)
+		serveDebug(*debug, reg)
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
 			log.Fatal(err)
@@ -83,11 +113,17 @@ func main() {
 		Gateway:  g.GatewayID,
 		Policy:   policy.ExampleCarrierPolicy(),
 		Replicas: 2,
+		Obs:      reg,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	for _, ag := range nw.Agents {
+		ag.Instrument(reg)
+	}
 	srv := ctrlproto.NewServer(nw.Ctrl)
+	srv.Instrument(reg)
+	serveDebug(*debug, reg)
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)

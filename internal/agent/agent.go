@@ -76,6 +76,8 @@ type Agent struct {
 	byLoc   map[packet.Addr]*ueState // guarded by mu; keyed by LocIP (incl. reserved old ones)
 	inbound map[inboundKey]struct{}  // guarded by mu; §7 public-IP bindings this station accepts
 	stats   Stats                    // guarded by mu
+
+	obs agentObs // lock-free mirrors of Stats; set by Instrument
 }
 
 // inboundKey identifies an accepted Internet-initiated service binding.
@@ -169,6 +171,7 @@ func (a *Agent) HandlePacketIn(p *packet.Packet) (allowed bool, err error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.stats.PacketIns++
+	a.obs.packetIns.Inc()
 	st, ok := a.ues[p.Src]
 	if !ok {
 		return false, fmt.Errorf("agent: packet from unknown UE %s", p.Src)
@@ -177,6 +180,7 @@ func (a *Agent) HandlePacketIn(p *packet.Packet) (allowed bool, err error) {
 	cl, ok := st.classifiers[app]
 	if !ok || !cl.Allow {
 		a.stats.Denied++
+		a.obs.denied.Inc()
 		a.Access.InstallMicroflow(p.Flow(), switchsim.DropAction())
 		return false, nil
 	}
@@ -190,6 +194,7 @@ func (a *Agent) HandlePacketIn(p *packet.Packet) (allowed bool, err error) {
 	if cl.Tag == 0 {
 		// "send to controller": the policy path does not exist yet (§4.2).
 		a.stats.CacheMiss++
+		a.obs.cacheMiss.Inc()
 		tag, err := a.ctrl.RequestPath(a.BS, cl.Clause)
 		if err != nil {
 			return false, fmt.Errorf("agent: controller refused path for clause %d: %w", cl.Clause, err)
@@ -198,6 +203,7 @@ func (a *Agent) HandlePacketIn(p *packet.Packet) (allowed bool, err error) {
 		st.classifiers[app] = cl
 	} else {
 		a.stats.CacheHits++
+		a.obs.cacheHits.Inc()
 	}
 	if err := a.installMicroflows(st, p.Flow(), cl.Tag, cl.QoS); err != nil {
 		return false, err
@@ -220,6 +226,7 @@ func (a *Agent) handleM2M(st *ueState, p *packet.Packet) (bool, error) {
 	r, ok := a.ctrl.(LocResolver)
 	if !ok {
 		a.stats.Denied++
+		a.obs.denied.Inc()
 		a.Access.InstallMicroflow(p.Flow(), switchsim.DropAction())
 		return false, nil
 	}
@@ -228,12 +235,14 @@ func (a *Agent) handleM2M(st *ueState, p *packet.Packet) (bool, error) {
 		loc, err := r.ResolveLocIP(p.Dst)
 		if err != nil {
 			a.stats.Denied++
+			a.obs.denied.Inc()
 			a.Access.InstallMicroflow(p.Flow(), switchsim.DropAction())
 			return false, nil
 		}
 		dstLoc = loc
 	}
 	a.stats.CacheMiss++ // the resolution is a controller round trip
+	a.obs.cacheMiss.Inc()
 	orig := p.Flow()
 	srcLoc := st.ue.LocIP
 	// Tag 0: pure location routing (Type 3 rules) carries the flow to the
@@ -247,6 +256,7 @@ func (a *Agent) handleM2M(st *ueState, p *packet.Packet) (bool, error) {
 	a.Access.InstallMicroflow(rewritten.Reverse(), down)
 	st.flows[orig] = flowState{orig: orig, rewritten: rewritten}
 	a.stats.Microflows += 2
+	a.obs.microflows.Add(2)
 	return true, nil
 }
 
@@ -271,10 +281,12 @@ func (a *Agent) HandleArrival(p *packet.Packet) (delivered bool, err error) {
 		tag, _ := a.plan.SplitPort(p.DstPort)
 		if _, allowed := a.inbound[inboundKey{p.Dst, tag}]; !allowed {
 			a.stats.Denied++
+			a.obs.denied.Inc()
 			return false, nil
 		}
 	}
 	a.stats.PacketIns++
+	a.obs.packetIns.Inc()
 	key := p.Flow()
 	perm := st.ue.PermIP
 	tag, svc := a.plan.SplitPort(p.DstPort)
@@ -297,6 +309,7 @@ func (a *Agent) HandleArrival(p *packet.Packet) (delivered bool, err error) {
 	reply := switchsim.Action{Resubmit: true, Output: -1, SetSrc: &locIP, SetSrcPort: &tagged}
 	a.Access.InstallMicroflow(replyKey, reply)
 	a.stats.Microflows += 2
+	a.obs.microflows.Add(2)
 	return true, nil
 }
 
@@ -351,6 +364,7 @@ func (a *Agent) installMicroflows(st *ueState, orig packet.FlowKey, tag packet.T
 
 	st.flows[orig] = flowState{orig: orig, rewritten: rewritten}
 	a.stats.Microflows += 2
+	a.obs.microflows.Add(2)
 	return nil
 }
 
@@ -433,6 +447,7 @@ func (a *Agent) MigrateFlows(newAgent *Agent, newUE core.UE, oldLocIP packet.Add
 		newAgent.Access.InstallMicroflow(f.rewritten.Reverse(), down)
 		nst.flows[f.orig] = f
 		newAgent.stats.Microflows += 2
+		newAgent.obs.microflows.Add(2)
 	}
 	return nil
 }

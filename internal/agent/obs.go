@@ -1,0 +1,35 @@
+package agent
+
+import (
+	"repro/internal/obs"
+)
+
+// agentObs mirrors the mutex-guarded Stats counters onto lock-free obs
+// counters so a live registry can watch classifier-cache behaviour
+// without taking the agent's lock. All handles nil (no-op) until
+// Instrument is called.
+type agentObs struct {
+	packetIns  *obs.Counter
+	cacheHits  *obs.Counter
+	cacheMiss  *obs.Counter
+	denied     *obs.Counter
+	microflows *obs.Counter
+}
+
+// Instrument registers the agent's telemetry on reg. Call it before the
+// agent starts handling packets (it swaps the handle set unlocked).
+// Callers wanting per-agent series pass a Sub-scoped view; registration
+// is get-or-create, so a restarted agent re-instrumenting on the same
+// registry keeps counting in the same series.
+func (a *Agent) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	a.obs = agentObs{
+		packetIns:  reg.Counter("agent.packet_in"),
+		cacheHits:  reg.Counter("agent.cache.hit"),
+		cacheMiss:  reg.Counter("agent.cache.miss"),
+		denied:     reg.Counter("agent.denied"),
+		microflows: reg.Counter("agent.microflows.installed"),
+	}
+}

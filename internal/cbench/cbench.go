@@ -17,6 +17,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/ctrlproto"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/policy"
 	"repro/internal/switchsim"
@@ -37,6 +38,10 @@ type ControllerOptions struct {
 	// OverWire routes requests through the ctrlproto framing over net.Pipe;
 	// false measures the controller's in-process request path only.
 	OverWire bool
+	// Obs, when set, instruments the controller (and the wire when
+	// OverWire) so the caller can embed a telemetry snapshot in its
+	// report. Nil benchmarks the uninstrumented baseline.
+	Obs *obs.Registry
 }
 
 // withDefaults fills the zero values. Every benchmark entry point applies
@@ -110,7 +115,7 @@ type testbed struct {
 	nBS     int
 }
 
-func newTestbed() (*testbed, error) {
+func newTestbed(reg *obs.Registry) (*testbed, error) {
 	g, err := topo.Generate(topo.GenParams{K: 4, ClusterSize: 10, MBTypes: 3, Seed: 1})
 	if err != nil {
 		return nil, err
@@ -119,6 +124,7 @@ func newTestbed() (*testbed, error) {
 	ctrl, err := core.NewController(g.Topology, core.ControllerConfig{
 		Gateway: g.GatewayID,
 		Policy:  pol,
+		Obs:     reg,
 		MBTypes: map[string]topo.MBType{
 			policy.MBFirewall: 0, policy.MBTranscoder: 1, policy.MBEchoCancel: 2,
 		},
@@ -147,7 +153,7 @@ func newTestbed() (*testbed, error) {
 // BenchController runs the §6.2 central-controller micro-benchmark.
 func BenchController(opts ControllerOptions) (Result, error) {
 	opts = opts.withDefaults()
-	tb, err := newTestbed()
+	tb, err := newTestbed(opts.Obs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -174,11 +180,13 @@ func BenchController(opts ControllerOptions) (Result, error) {
 
 	if opts.OverWire {
 		srv := ctrlproto.NewServer(tb.ctrl)
+		srv.Instrument(opts.Obs)
 		clients := make([]*ctrlproto.Client, opts.Agents)
 		for i := range clients {
 			a, b := net.Pipe()
 			go srv.ServeConn(a)
 			clients[i] = ctrlproto.NewClient(b)
+			clients[i].Instrument(opts.Obs)
 		}
 		defer func() {
 			for _, c := range clients {
@@ -225,6 +233,8 @@ type AgentOptions struct {
 	// miss pays (default 500µs, a LAN RTT plus controller work — the knob
 	// that separates Table 2's rows, not an absolute claim).
 	ControllerRTT time.Duration
+	// Obs, when set, instruments the agent under test.
+	Obs *obs.Registry
 }
 
 // BenchAgent measures one local agent's new-flow throughput at a fixed
@@ -240,6 +250,7 @@ func BenchAgent(opts AgentOptions) (Result, error) {
 	plan := packet.DefaultPlan
 	sw := switchsim.NewSwitch("bench-as")
 	ag := agent.New(1, sw, plan, ctrl)
+	ag.Instrument(opts.Obs)
 
 	// One UE per few flows, all with a resolvable web classifier.
 	loc, err := plan.LocIP(1, 1)

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/policy"
 	"repro/internal/shard"
@@ -32,7 +33,7 @@ func (o ShardedOptions) withDefaults() ShardedOptions {
 // newShardedTestbed mirrors newTestbed over a shard.Dispatcher: the same
 // k=4 network and Table 1 policy, every (station, clause) path pre-warmed,
 // so the measurement window sees only steady-state request handling.
-func newShardedTestbed(shards int) (*shard.Dispatcher, []int, int, error) {
+func newShardedTestbed(shards int, reg *obs.Registry) (*shard.Dispatcher, []int, int, error) {
 	g, err := topo.Generate(topo.GenParams{K: 4, ClusterSize: 10, MBTypes: 3, Seed: 1})
 	if err != nil {
 		return nil, nil, 0, err
@@ -46,6 +47,7 @@ func newShardedTestbed(shards int) (*shard.Dispatcher, []int, int, error) {
 			policy.MBFirewall: 0, policy.MBTranscoder: 1, policy.MBEchoCancel: 2,
 		},
 		Shards: shards,
+		Obs:    reg,
 	})
 	if err != nil {
 		return nil, nil, 0, err
@@ -73,7 +75,7 @@ func newShardedTestbed(shards int) (*shard.Dispatcher, []int, int, error) {
 // fan out over N parallel controller shards with no shared lock.
 func BenchShardedController(opts ShardedOptions) (Result, error) {
 	opts = opts.withDefaults()
-	d, clauses, nBS, err := newShardedTestbed(opts.Shards)
+	d, clauses, nBS, err := newShardedTestbed(opts.Shards, opts.Obs)
 	if err != nil {
 		return Result{}, err
 	}

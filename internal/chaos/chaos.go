@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ctrlproto"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/policy"
 	"repro/internal/shard"
@@ -75,6 +76,14 @@ type Config struct {
 	// Trace receives one line per event; two same-seed runs write identical
 	// bytes. Nil discards.
 	Trace io.Writer
+
+	// Obs, when set, instruments the whole stack under test (core, shard,
+	// wire, plus the harness's own fault/check telemetry). The harness
+	// points the registry's clock at the sim kernel, so the registry's
+	// trace dump is deterministic too: two same-seed runs emit
+	// byte-identical TraceJSON. Counters are NOT covered by that
+	// guarantee — wire retransmissions depend on wall-clock retry timing.
+	Obs *obs.Registry
 }
 
 func (cfg Config) withDefaults() Config {
@@ -156,6 +165,7 @@ type engine struct {
 	downSw   []topo.NodeID
 
 	res Result
+	obs chaosObs
 	err error
 
 	// Wire-fault state, shared with the connection's writer goroutine (the
@@ -181,6 +191,11 @@ func Run(cfg Config) (Result, error) {
 	e.wireMu.Lock()
 	e.wireRNG = e.k.Fork("chaos-wire")
 	e.wireMu.Unlock()
+	if cfg.Obs != nil {
+		k := e.k
+		cfg.Obs.SetClock(func() int64 { return int64(k.Now()) })
+	}
+	e.obs = newChaosObs(cfg.Obs)
 	if err := e.setup(); err != nil {
 		return e.res, err
 	}
@@ -237,6 +252,7 @@ func (e *engine) setup() error {
 		},
 		Shards:  e.cfg.Shards,
 		Workers: 1, // single worker per shard: queue order is processing order
+		Obs:     e.cfg.Obs,
 	})
 	if err != nil {
 		return err
@@ -244,6 +260,7 @@ func (e *engine) setup() error {
 	e.d = d
 	e.srv = ctrlproto.NewServer(d)
 	e.srv.Workers = 1 // in-order frame handling makes the barrier a full drain
+	e.srv.Instrument(e.cfg.Obs)
 	e.connect()
 
 	for i := 0; i < e.cfg.UEs; i++ {
@@ -275,6 +292,7 @@ func (e *engine) connect() {
 	e.cl = ctrlproto.NewClient(ctrlproto.NewFaultyConn(b, e.decide))
 	e.cl.Timeout = e.cfg.RetryTimeout
 	e.cl.Attempts = retryAttempts
+	e.cl.Instrument(e.cfg.Obs)
 }
 
 // decide is the wire fault schedule. It runs on the connection's writer
@@ -350,6 +368,7 @@ func (e *engine) check(label string) {
 		e.fail(fmt.Errorf("chaos: invariants after %s: %w", label, err))
 		return
 	}
+	e.obs.checks.Inc()
 	e.trace("check %s shards=%d paths=%d rules=%d attached=%d resv=%d",
 		label, rep.Shards, rep.Paths, rep.Rules, rep.Attached, rep.Reservations)
 }
@@ -443,6 +462,7 @@ func (e *engine) handoff(detach bool) {
 	if detach {
 		e.res.Ops++
 		e.res.Faults.DetachMidHandoff++
+		e.obs.fault(kindDetachMidHandoff, -1)
 	}
 	imsi, ue, ok := e.pickUE(true)
 	if !ok {
@@ -560,6 +580,7 @@ func (e *engine) switchFault() {
 	n := candidates[e.rng.Intn(len(candidates))]
 	e.downSw = append(e.downSw, n)
 	e.res.Faults.SwitchFail++
+	e.obs.fault(kindSwitchFail, int64(n))
 	for _, s := range e.d.Shards() {
 		if s.Down() {
 			continue
@@ -576,6 +597,7 @@ func (e *engine) switchFault() {
 
 func (e *engine) recoverSwitch(n topo.NodeID) {
 	e.res.Faults.SwitchRecover++
+	e.obs.fault(kindSwitchRecover, int64(n))
 	for _, s := range e.d.Shards() {
 		if s.Down() {
 			continue
@@ -622,6 +644,7 @@ func (e *engine) shardKill() {
 		return
 	}
 	e.res.Faults.ShardKill++
+	e.obs.fault(kindShardKill, int64(victim.ID))
 	e.trace("shard-kill id=%d reports=%d %s", victim.ID, len(reports), rep)
 	e.check("shard-kill")
 }
@@ -640,6 +663,7 @@ func (e *engine) agentRestart() {
 		return
 	}
 	e.res.Faults.AgentRestart++
+	e.obs.fault(kindAgentRestart, int64(bs))
 	e.trace("agent-restart hello bs=%d", bs)
 	e.check("agent-restart")
 }
@@ -656,6 +680,7 @@ func (e *engine) policyChurn() {
 		e.trace("policy-churn clause=%d shard=%d err=%v", clause, s.ID, err)
 	}
 	e.res.Faults.PolicyChurn++
+	e.obs.fault(kindPolicyChurn, int64(clause))
 	e.check("policy-churn")
 }
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // smokeConfig is the fixed-seed tier-1 configuration: long enough that
@@ -15,17 +17,24 @@ func smokeConfig() Config {
 
 // TestChaosSmokeDeterministic is the tier-1 gate: one seeded schedule with
 // every fault type enabled must pass every invariant check, and running it
-// twice must produce byte-identical traces and equal results.
+// twice must produce byte-identical traces and equal results. Both runs
+// carry a full obs registry, so the gate also proves instrumentation does
+// not perturb the schedule and that the registry's own event trace is
+// byte-identical across same-seed runs (counters are exempt: wire
+// retransmissions depend on wall-clock retry timing).
 func TestChaosSmokeDeterministic(t *testing.T) {
 	var t1, t2 bytes.Buffer
+	reg1, reg2 := obs.New(), obs.New()
 	cfg1 := smokeConfig()
 	cfg1.Trace = &t1
+	cfg1.Obs = reg1
 	r1, err := Run(cfg1)
 	if err != nil {
 		t.Fatalf("chaos run: %v\ntail:\n%s", err, tail(t1.String(), 30))
 	}
 	cfg2 := smokeConfig()
 	cfg2.Trace = &t2
+	cfg2.Obs = reg2
 	r2, err := Run(cfg2)
 	if err != nil {
 		t.Fatalf("second chaos run: %v", err)
@@ -37,11 +46,27 @@ func TestChaosSmokeDeterministic(t *testing.T) {
 	if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
 		t.Fatalf("same-seed traces differ: %s", firstDiff(t1.String(), t2.String()))
 	}
+	d1, d2 := reg1.TraceJSON(), reg2.TraceJSON()
+	if !bytes.Equal(d1, d2) {
+		t.Fatalf("same-seed obs trace dumps differ: %s", firstDiff(string(d1), string(d2)))
+	}
+	if reg1.TraceLen() == 0 {
+		t.Error("obs registry recorded no trace events")
+	}
+	f := r1.Faults
+	wantFaults := uint64(f.SwitchFail + f.SwitchRecover + f.ShardKill +
+		f.AgentRestart + f.DetachMidHandoff + f.PolicyChurn)
+	s := reg1.Snapshot()
+	if got := s.Counters["chaos.faults.injected"]; got != wantFaults {
+		t.Errorf("chaos.faults.injected = %d, want %d", got, wantFaults)
+	}
+	if got := s.Counters["chaos.checks.passed"]; got != uint64(r1.Checks) {
+		t.Errorf("chaos.checks.passed = %d, want %d", got, r1.Checks)
+	}
 
 	if r1.Events != 600 {
 		t.Errorf("events = %d, want 600", r1.Events)
 	}
-	f := r1.Faults
 	if f.SwitchFail == 0 || f.SwitchRecover == 0 || f.ShardKill == 0 ||
 		f.AgentRestart == 0 || f.DetachMidHandoff == 0 || f.PolicyChurn == 0 {
 		t.Errorf("a fault category never fired: %+v", f)

@@ -1,0 +1,44 @@
+package chaos
+
+import (
+	"repro/internal/obs"
+)
+
+// Fault kind codes carried as the first argument of the "chaos.fault"
+// trace event (event args are int64s, so kinds are coded, not named).
+const (
+	kindSwitchFail = iota
+	kindSwitchRecover
+	kindShardKill
+	kindAgentRestart
+	kindDetachMidHandoff
+	kindPolicyChurn
+)
+
+// chaosObs is the harness's own telemetry: faults injected vs invariant
+// checks passed, plus one trace event per injected fault. The fault
+// events are emitted on the driver thread with sim-kernel timestamps, so
+// same-seed runs dump byte-identical traces.
+type chaosObs struct {
+	faults  *obs.Counter
+	checks  *obs.Counter
+	evFault *obs.EventType
+}
+
+func newChaosObs(reg *obs.Registry) chaosObs {
+	if reg == nil {
+		return chaosObs{}
+	}
+	return chaosObs{
+		faults:  reg.Counter("chaos.faults.injected"),
+		checks:  reg.Counter("chaos.checks.passed"),
+		evFault: reg.EventType("chaos.fault", "kind", "id"),
+	}
+}
+
+// fault records one injected fault: kind is a kind* code, id the faulted
+// entity (switch, shard, station, or clause; -1 when not applicable).
+func (o chaosObs) fault(kind, id int64) {
+	o.faults.Inc()
+	o.evFault.Emit(kind, id)
+}

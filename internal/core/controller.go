@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/policy"
 	"repro/internal/routing"
@@ -69,6 +70,10 @@ type ControllerConfig struct {
 	// Installer options (ablations, candidate bounds, tag-space partition)
 	// pass through.
 	Install InstallerOptions
+	// Obs, when non-nil, registers runtime telemetry (tag-cache hit/miss,
+	// rules added/saved by aggregation, sampled lock waits) and trace
+	// events on the registry. nil runs uninstrumented at zero cost.
+	Obs *obs.Registry
 }
 
 // Controller is the SoftCell central controller: it owns the subscriber
@@ -131,6 +136,11 @@ type Controller struct {
 	handoffs atomic.Uint64
 	pathAsks atomic.Uint64
 	pathMiss atomic.Uint64 // asks that had to install a new path
+
+	// Runtime telemetry handles (nil-safe no-ops when unconfigured) and
+	// the slow-path sequence used to sample ruleMu waits.
+	obs     coreObs
+	slowSeq atomic.Uint64
 }
 
 // ControllerStats is a point-in-time snapshot of the controller's counters.
@@ -206,6 +216,7 @@ func NewController(t *topo.Topology, cfg ControllerConfig) (*Controller, error) 
 		nextUEID:     make(map[packet.BSID]packet.UEID),
 		freeUEIDs:    make(map[packet.BSID][]packet.UEID),
 		paths:        make(map[pathKey]*InstalledPath),
+		obs:          newCoreObs(cfg.Obs),
 	}
 	empty := make(tagMap)
 	c.tagCache.Store(&empty)
@@ -347,8 +358,10 @@ func (c *Controller) classifiersLocked(ue *UE) []Classifier {
 func (c *Controller) RequestPath(bs packet.BSID, clause int) (packet.Tag, error) {
 	c.pathAsks.Add(1)
 	if tag, ok := (*c.tagCache.Load())[pathKey{bs, clause}]; ok {
+		c.obs.cacheHit.Inc()
 		return tag, nil
 	}
+	c.obs.cacheMiss.Inc()
 	return c.requestPathSlow(bs, clause)
 }
 
@@ -362,7 +375,16 @@ func (c *Controller) requestPathSlow(bs packet.BSID, clause int) (packet.Tag, er
 	if !owns {
 		return 0, fmt.Errorf("core: path request from base station %d: %w", bs, ErrNotOwned)
 	}
-	c.ruleMu.Lock()
+	// Sampled lock-domain contention: every Nth slow request times its
+	// ruleMu acquisition against the injected obs clock (virtual clocks
+	// observe 0, keeping deterministic harnesses deterministic).
+	if c.obs.ruleWait != nil && c.slowSeq.Add(1)%ruleWaitSampleEvery == 0 {
+		t0 := c.obs.reg.Now()
+		c.ruleMu.Lock()
+		c.obs.ruleWait.Observe(c.obs.reg.Now() - t0)
+	} else {
+		c.ruleMu.Lock()
+	}
 	defer c.ruleMu.Unlock()
 	return c.resolvePathLocked(bs, clause)
 }
@@ -401,12 +423,23 @@ func (c *Controller) resolvePathLocked(bs packet.BSID, clause int) (packet.Tag, 
 	if err != nil {
 		return 0, err
 	}
+	rulesBefore := c.Installer.Stats().Rules
 	rec, err := c.Installer.InstallPath(route)
 	if err != nil {
 		return 0, err
 	}
+	// Rule accounting: entries this install actually placed vs the naive
+	// two-per-hop (up + down) placement aggregation starts from.
+	added := c.Installer.Stats().Rules - rulesBefore
+	if added > 0 {
+		c.obs.rulesAdded.Add(uint64(added))
+	}
+	if saved := 2*route.Len() - added; saved > 0 {
+		c.obs.rulesSaved.Add(uint64(saved))
+	}
 	c.paths[pathKey{bs, clause}] = rec
 	c.publishTagLocked(pathKey{bs, clause}, rec.AccessTag())
+	c.obs.evInstall.Emit(int64(bs), int64(clause), int64(rec.AccessTag()), int64(added))
 	c.pathMiss.Add(1)
 	key := fmt.Sprintf("path/%d/%d", bs, clause)
 	blob := make([]byte, 8)
@@ -429,6 +462,7 @@ func (c *Controller) publishTagLocked(key pathKey, tag packet.Tag) {
 	}
 	next[key] = tag
 	c.tagCache.Store(&next)
+	c.obs.evTagPub.Emit(int64(key.bs), int64(key.clause), int64(tag))
 }
 
 // rebuildTagCacheLocked republishes the snapshot from the installed-path
@@ -437,11 +471,23 @@ func (c *Controller) publishTagLocked(key pathKey, tag packet.Tag) {
 //
 // caller holds ruleMu
 func (c *Controller) rebuildTagCacheLocked() {
+	old := *c.tagCache.Load()
 	next := make(tagMap, len(c.paths))
 	for k, rec := range c.paths {
 		next[k] = rec.AccessTag()
 	}
 	c.tagCache.Store(&next)
+	// Wholesale invalidation: report how many memo entries did not carry
+	// over (bs -1 = all stations).
+	dropped := 0
+	for k, v := range old {
+		if next[k] != v {
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		c.obs.evTagEvict.Emit(-1, int64(dropped))
+	}
 }
 
 // invalidateStationLocked drops every cached tag of one base station, so
@@ -459,6 +505,9 @@ func (c *Controller) invalidateStationLocked(bs packet.BSID) {
 		}
 	}
 	c.tagCache.Store(&next)
+	if dropped := len(old) - len(next); dropped > 0 {
+		c.obs.evTagEvict.Emit(int64(bs), int64(dropped))
+	}
 }
 
 // LookupUE resolves a UE by IMSI.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/policy"
 	"repro/internal/topo"
@@ -11,7 +12,9 @@ import (
 
 // testController builds a controller over the Fig. 3 network with the
 // Table 1 policy; middlebox type 0 = firewall, 1 = transcoder, 2 = echo
-// cancel (attached alongside the transcoders for simplicity).
+// cancel (attached alongside the transcoders for simplicity). It runs
+// with a live obs registry, so the whole suite (benchmarks included)
+// exercises the instrumented code paths.
 func testController(t testing.TB) (*Controller, *fig3Net) {
 	t.Helper()
 	n := newFig3Net(t)
@@ -19,6 +22,7 @@ func testController(t testing.TB) (*Controller, *fig3Net) {
 		t.Fatal(err)
 	}
 	c, err := NewController(n.Topology, ControllerConfig{
+		Obs:     obs.New(),
 		Gateway: n.gw,
 		Policy:  policy.ExampleCarrierPolicy(),
 		MBTypes: map[string]topo.MBType{

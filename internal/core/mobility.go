@@ -249,6 +249,7 @@ func (c *Controller) Handoff(imsi string, newBS packet.BSID) (HandoffResult, err
 	c.ruleMu.Lock()
 	res.Shortcuts = c.retargetReservationsLocked(imsi, newStation.Access)
 	c.ruleMu.Unlock()
+	c.obs.evHandoff.Emit(int64(oldBS), int64(newBS), int64(len(res.Shortcuts)))
 	return res, nil
 }
 
@@ -318,6 +319,7 @@ func (c *Controller) ReleaseOldLocIP(oldLoc packet.Addr, shortcuts []*Shortcut) 
 		}
 	}
 	c.ruleMu.Unlock()
+	c.obs.evRelease.Emit(int64(oldLoc), boolInt(reserved))
 	if !reserved {
 		// Already released, or the UE migrated away (ExtractUE tears down
 		// reservations and frees their IDs itself). Freeing again would hand

@@ -82,9 +82,11 @@ func (c *Controller) RequestPathBatch(qs []PathQuery, out []PathAnswer) []PathAn
 			misses++
 		}
 	}
+	c.obs.cacheHit.Add(uint64(len(qs) - misses))
 	if misses == 0 {
 		return out
 	}
+	c.obs.cacheMiss.Add(uint64(misses))
 	c.ueMu.RLock()
 	for i := range out {
 		if out[i].Tag == 0 && !c.ownsLocked(qs[i].BS) {
@@ -92,7 +94,15 @@ func (c *Controller) RequestPathBatch(qs []PathQuery, out []PathAnswer) []PathAn
 		}
 	}
 	c.ueMu.RUnlock()
-	c.ruleMu.Lock()
+	// Same sampled lock-wait probe as requestPathSlow: one batch counts as
+	// one slow-path entry.
+	if c.obs.ruleWait != nil && c.slowSeq.Add(1)%ruleWaitSampleEvery == 0 {
+		t0 := c.obs.reg.Now()
+		c.ruleMu.Lock()
+		c.obs.ruleWait.Observe(c.obs.reg.Now() - t0)
+	} else {
+		c.ruleMu.Lock()
+	}
 	for i := range out {
 		if out[i].Tag == 0 && out[i].Err == nil {
 			out[i].Tag, out[i].Err = c.resolvePathLocked(qs[i].BS, qs[i].Clause)

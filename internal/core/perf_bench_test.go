@@ -11,7 +11,9 @@ import (
 // BenchmarkRequestPath measures the steady-state hot path: every requested
 // path is already installed, so each call is one tag-memo lookup. `make
 // profile` drives this benchmark for its CPU/heap profiles; ReportAllocs
-// pins the 0 allocs/op property in `go test -bench` output.
+// pins the 0 allocs/op property in `go test -bench` output. The fixture
+// runs with obs instrumentation enabled (testController wires a live
+// registry), so the pinned number includes the telemetry cost.
 func BenchmarkRequestPath(b *testing.B) {
 	c, _ := testController(b)
 	clauses := allowClauses(c.Policy)

@@ -1,0 +1,33 @@
+package ctrlproto
+
+import (
+	"repro/internal/obs"
+)
+
+// Instrument registers the server's wire telemetry on reg: frames read,
+// path requests served, in-flight request depth, and group-commit flush
+// sizes. Call before Serve/ServeConn. The wire layer deliberately emits
+// no trace events — its worker-pool and retransmission timing are
+// scheduler-dependent, and trace dumps must stay deterministic in
+// same-seed harness runs; counters and histograms are exempt from that
+// guarantee.
+func (s *Server) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.obsFrames = reg.Counter("wire.frames.in")
+	s.obsRequests = reg.Counter("wire.requests.path")
+	s.obsInflight = reg.Gauge("wire.inflight")
+	s.obsFlush = reg.Histogram("wire.flush.frames", 1, 2, 4, 8, 16, 32, 64)
+}
+
+// Instrument registers the client's wire telemetry on reg: the number of
+// same-reqID retransmissions its retry policy has sent (a lossy-wire
+// health signal). Get-or-create registration makes re-instrumenting a
+// reconnected client a no-op.
+func (cl *Client) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	cl.c.retrans = reg.Counter("wire.retransmits")
+}

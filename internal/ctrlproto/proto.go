@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/packet"
 )
 
@@ -202,7 +203,13 @@ type conn struct {
 	writeMu sync.Mutex // serialises flushes of wbuf to raw
 	bufMu   sync.Mutex
 	wbuf    []byte // guarded by bufMu; frames awaiting the next flush
+	nbuf    int    // guarded by bufMu; frame count in wbuf
 	nextID  uint32
+
+	// Optional wire telemetry (nil-safe): flush batch sizes, observed by
+	// whichever sender performs the write, and client retransmissions.
+	flushFrames *obs.Histogram
+	retrans     *obs.Counter
 
 	mu      sync.Mutex
 	pending map[uint32]chan frame
@@ -229,6 +236,7 @@ func (c *conn) buffer(f frame) error {
 		return err
 	}
 	c.wbuf = buf
+	c.nbuf++
 	return nil
 }
 
@@ -245,12 +253,13 @@ func (c *conn) flush() error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	c.bufMu.Lock()
-	out := c.wbuf
-	c.wbuf = nil
+	out, n := c.wbuf, c.nbuf
+	c.wbuf, c.nbuf = nil, 0
 	c.bufMu.Unlock()
 	if len(out) == 0 {
 		return nil
 	}
+	c.flushFrames.Observe(int64(n))
 	_, err := c.raw.Write(out)
 	c.bufMu.Lock()
 	if c.wbuf == nil {
@@ -311,6 +320,9 @@ func (c *conn) requestRetry(typ MsgType, payload []byte, timeout time.Duration, 
 		c.mu.Unlock()
 	}
 	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			c.retrans.Inc()
+		}
 		if err := c.send(frame{typ: typ, reqID: id, payload: payload}); err != nil {
 			unregister()
 			return frame{}, err

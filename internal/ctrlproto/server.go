@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/packet"
 )
 
@@ -38,6 +39,12 @@ type Server struct {
 
 	// Requests counts path requests served (all connections).
 	Requests uint64
+
+	// Wire telemetry handles (nil-safe no-ops); set by Instrument.
+	obsFrames   *obs.Counter
+	obsRequests *obs.Counter
+	obsInflight *obs.Gauge
+	obsFlush    *obs.Histogram
 }
 
 // NewServer wraps a control plane (a controller or a shard dispatcher).
@@ -72,6 +79,7 @@ func (s *Server) ServeConn(raw net.Conn) {
 
 func (s *Server) serveConn(raw net.Conn) {
 	c := newConn(raw)
+	c.flushFrames = s.obsFlush
 	s.mu.Lock()
 	s.conns[c] = 0
 	s.mu.Unlock()
@@ -105,6 +113,7 @@ func (s *Server) serveConn(raw net.Conn) {
 			defer wg.Done()
 			for f := range frames {
 				s.handle(c, f)
+				s.obsInflight.Add(-1)
 				if inflight.Add(-1) == 0 {
 					_ = c.flush()
 				}
@@ -112,6 +121,8 @@ func (s *Server) serveConn(raw net.Conn) {
 		}()
 	}
 	c.readLoop(func(f frame) {
+		s.obsFrames.Inc()
+		s.obsInflight.Add(1)
 		inflight.Add(1)
 		frames <- f
 	})
@@ -159,6 +170,7 @@ func (s *Server) handle(c *conn, f frame) {
 			return
 		}
 		atomic.AddUint64(&s.Requests, 1)
+		s.obsRequests.Inc()
 		_ = c.reply(f.reqID, MsgPathRequest, PathReply{Tag: tag}.marshal())
 	case MsgAttach:
 		var req AttachRequest

@@ -124,6 +124,11 @@ func TestWireSafeFixture(t *testing.T) {
 	checkFixture(t, prog, rules, []*Analyzer{WireSafe})
 }
 
+func TestObsCheckFixture(t *testing.T) {
+	prog := loadFixture(t, "obsfix/use")
+	checkFixture(t, prog, &Rules{ObsPkg: "fixture/obsfix/obs"}, []*Analyzer{ObsCheck})
+}
+
 func TestErrDropFixture(t *testing.T) {
 	prog := loadFixture(t, "errdrop")
 	checkFixture(t, prog, &Rules{ErrAllowNames: []string{"Close"}}, []*Analyzer{ErrDrop})
@@ -156,7 +161,7 @@ func TestIgnoreDirectives(t *testing.T) {
 
 // TestAnalyzersComplete pins the production analyzer set.
 func TestAnalyzersComplete(t *testing.T) {
-	want := []string{"lockcheck", "determinism", "layering", "wiresafe", "errdrop"}
+	want := []string{"lockcheck", "determinism", "layering", "wiresafe", "errdrop", "obscheck"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))

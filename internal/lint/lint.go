@@ -46,7 +46,7 @@ type Analyzer struct {
 
 // Analyzers is the full production set, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockCheck, Determinism, Layering, WireSafe, ErrDrop}
+	return []*Analyzer{LockCheck, Determinism, Layering, WireSafe, ErrDrop, ObsCheck}
 }
 
 // ignoreDirective is one parsed //lint:ignore comment.

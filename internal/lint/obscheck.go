@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ObsCheck enforces the telemetry-name discipline of the obs registry
+// (Rules.ObsPkg): every Counter/Gauge/Histogram/EventType registration
+// must pass its name as a string literal — literal names are what keeps
+// the metric namespace greppable and lets this checker see it — matching
+// the lowercase dot-separated grammar, and each literal may appear at
+// exactly one call site, so a metric has one owner and shared handles are
+// shared on purpose. Sub prefixes are validated when literal; computed
+// prefixes (per-shard "shard."+i) are the reason scoping exists and stay
+// legal.
+var ObsCheck = &Analyzer{
+	Name: "obscheck",
+	Doc:  "obs registrations use literal, well-formed, once-registered metric names",
+	Run:  runObsCheck,
+}
+
+// obsRegMethods are the Registry methods whose first argument registers a
+// full metric/event name (two segments minimum).
+var obsRegMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "EventType": true,
+}
+
+func runObsCheck(prog *Program, rules *Rules, report Reporter) {
+	if rules.ObsPkg == "" {
+		return
+	}
+	firstSite := make(map[string]token.Position) // literal name -> first registration
+	for _, pkg := range prog.Pkgs {
+		if pkg.Path == rules.ObsPkg {
+			continue // the registry's own implementation and helpers
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				method, ok := obsRegistryMethod(pkg, call, rules.ObsPkg)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				name, lit := stringLiteral(call.Args[0])
+				switch {
+				case obsRegMethods[method]:
+					if !lit {
+						report(call.Args[0].Pos(),
+							"obs %s name must be a string literal so the namespace stays greppable and once-registered", method)
+						return true
+					}
+					if !obsValidName(name, 2) {
+						report(call.Args[0].Pos(),
+							"obs name %q: want lowercase dot-separated segments of [a-z0-9_], at least two", name)
+						return true
+					}
+					if prev, dup := firstSite[name]; dup {
+						report(call.Args[0].Pos(),
+							"obs name %q already registered at %s:%d; register once and share the handle",
+							name, prev.Filename, prev.Line)
+						return true
+					}
+					firstSite[name] = prog.Fset.Position(call.Args[0].Pos())
+				case method == "Sub":
+					if lit && !obsValidName(name, 1) {
+						report(call.Args[0].Pos(),
+							"obs Sub prefix %q: want lowercase dot-separated segments of [a-z0-9_]", name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// obsRegistryMethod resolves call to a method on the obs Registry type and
+// returns its name.
+func obsRegistryMethod(pkg *Package, call *ast.CallExpr, obsPkg string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != obsPkg {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// stringLiteral unquotes arg when it is a plain string literal.
+func stringLiteral(arg ast.Expr) (string, bool) {
+	lit, ok := arg.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// obsValidName mirrors the registry's runtime grammar: dot-separated
+// nonempty segments of [a-z0-9_], at least minSeg of them.
+func obsValidName(s string, minSeg int) bool {
+	segs := strings.Split(s, ".")
+	if len(segs) < minSeg {
+		return false
+	}
+	for _, seg := range segs {
+		if seg == "" {
+			return false
+		}
+		for _, c := range seg {
+			if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+				return false
+			}
+		}
+	}
+	return true
+}

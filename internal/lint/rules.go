@@ -33,6 +33,10 @@ type Rules struct {
 	WireIfaceAllow   []string
 	WireTypeAllow    []string
 
+	// ObsPkg is the telemetry registry package whose registration calls
+	// obscheck audits (empty disables the analyzer).
+	ObsPkg string
+
 	// ErrDrop allowlist: callee base names (any receiver), fully
 	// qualified package functions ("fmt.Println"), and receiver types
 	// ("bytes.Buffer") whose dropped errors are accepted as best-effort
@@ -56,12 +60,14 @@ func DefaultRules() *Rules {
 			"repro/internal/agent",
 			"repro/internal/chaos",
 			"repro/internal/core",
+			"repro/internal/obs",
 			"repro/internal/shard",
 			"repro/internal/store",
 			"repro/internal/switchsim",
 		},
 		DetermPkgs: []string{
 			"repro/internal/chaos",
+			"repro/internal/obs",
 			"repro/internal/scenario",
 			"repro/internal/sim",
 			"repro/internal/simexp",
@@ -78,6 +84,7 @@ func DefaultRules() *Rules {
 			"repro/internal/policy":  {},
 			"repro/internal/store":   {},
 			"repro/internal/sim":     {},
+			"repro/internal/obs":     {},
 			"repro/internal/lint":    {},
 			"repro/internal/topo":    {"repro/internal/packet"},
 			"repro/internal/switchsim": {
@@ -93,17 +100,20 @@ func DefaultRules() *Rules {
 				"repro/internal/metrics",
 			},
 			"repro/internal/core": {
-				"repro/internal/metrics", "repro/internal/packet",
-				"repro/internal/policy", "repro/internal/routing",
-				"repro/internal/store", "repro/internal/topo",
+				"repro/internal/metrics", "repro/internal/obs",
+				"repro/internal/packet", "repro/internal/policy",
+				"repro/internal/routing", "repro/internal/store",
+				"repro/internal/topo",
 			},
 			"repro/internal/agent": {
-				"repro/internal/core", "repro/internal/packet",
-				"repro/internal/policy", "repro/internal/switchsim",
+				"repro/internal/core", "repro/internal/obs",
+				"repro/internal/packet", "repro/internal/policy",
+				"repro/internal/switchsim",
 			},
 			"repro/internal/ctrlproto": {
-				"repro/internal/core", "repro/internal/packet",
-				"repro/internal/policy", "repro/internal/topo",
+				"repro/internal/core", "repro/internal/obs",
+				"repro/internal/packet", "repro/internal/policy",
+				"repro/internal/topo",
 			},
 			"repro/internal/dataplane": {
 				"repro/internal/agent", "repro/internal/core",
@@ -119,9 +129,9 @@ func DefaultRules() *Rules {
 			},
 			"repro/internal/shard": {
 				"repro/internal/core", "repro/internal/ctrlproto",
-				"repro/internal/packet", "repro/internal/policy",
-				"repro/internal/sim", "repro/internal/store",
-				"repro/internal/topo",
+				"repro/internal/obs", "repro/internal/packet",
+				"repro/internal/policy", "repro/internal/sim",
+				"repro/internal/store", "repro/internal/topo",
 			},
 			"repro/internal/simexp": {
 				"repro/internal/core", "repro/internal/packet",
@@ -129,15 +139,16 @@ func DefaultRules() *Rules {
 			},
 			"repro/internal/chaos": {
 				"repro/internal/core", "repro/internal/ctrlproto",
-				"repro/internal/packet", "repro/internal/policy",
-				"repro/internal/shard", "repro/internal/sim",
-				"repro/internal/topo",
+				"repro/internal/obs", "repro/internal/packet",
+				"repro/internal/policy", "repro/internal/shard",
+				"repro/internal/sim", "repro/internal/topo",
 			},
 			"repro/internal/cbench": {
 				"repro/internal/agent", "repro/internal/core",
-				"repro/internal/ctrlproto", "repro/internal/packet",
-				"repro/internal/policy", "repro/internal/shard",
-				"repro/internal/switchsim", "repro/internal/topo",
+				"repro/internal/ctrlproto", "repro/internal/obs",
+				"repro/internal/packet", "repro/internal/policy",
+				"repro/internal/shard", "repro/internal/switchsim",
+				"repro/internal/topo",
 			},
 		},
 		Construct: []ConstructRule{
@@ -151,6 +162,7 @@ func DefaultRules() *Rules {
 				},
 			},
 		},
+		ObsPkg:           "repro/internal/obs",
 		WireRootPkgs:     []string{"repro/internal/ctrlproto"},
 		WireRootSuffixes: []string{"Request", "Reply", "Report", "Notify"},
 		WireRoots:        []string{"repro/internal/core.AgentLocationReport"},

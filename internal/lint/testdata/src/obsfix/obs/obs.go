@@ -1,0 +1,24 @@
+// Package obs is a fixture stand-in for the production telemetry
+// registry: the same method surface obscheck resolves against, with no
+// behaviour.
+package obs
+
+type Registry struct{}
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+type EventType struct{}
+
+func (r *Registry) Counter(name string) *Counter { return nil }
+
+func (r *Registry) Gauge(name string) *Gauge { return nil }
+
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram { return nil }
+
+func (r *Registry) EventType(name string, keys ...string) *EventType { return nil }
+
+func (r *Registry) Sub(prefix string) *Registry { return nil }

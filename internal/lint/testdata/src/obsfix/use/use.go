@@ -1,0 +1,22 @@
+// Package use exercises obscheck: literal-name grammar, the one-call-site
+// rule, and Sub prefix validation.
+package use
+
+import "fixture/obsfix/obs"
+
+var dynamic = "computed." + "name"
+
+func register(r *obs.Registry) {
+	r.Counter("good.counter")
+	r.Gauge("single")           // want `\[obscheck\] obs name "single": want lowercase`
+	r.Histogram("Bad.Upper", 1) // want `\[obscheck\] obs name "Bad\.Upper"`
+	r.EventType("good.event", "k")
+	r.Counter(dynamic)   // want `\[obscheck\] obs Counter name must be a string literal`
+	r.Gauge("trailing.") // want `\[obscheck\] obs name "trailing\."`
+	r.Counter("dup.metric")
+	r.Gauge("dup.metric") // want `\[obscheck\] obs name "dup\.metric" already registered at .*use\.go:17`
+	r.Sub("shard")
+	r.Sub("Shard") // want `\[obscheck\] obs Sub prefix "Shard"`
+	sub := r.Sub(dynamic)
+	sub.Counter("scoped.ok")
+}

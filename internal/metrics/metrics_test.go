@@ -200,3 +200,65 @@ func TestTableRendering(t *testing.T) {
 		t.Errorf("whole float should render as integer:\n%s", tab2.String())
 	}
 }
+
+// TestQuantileEmptyCDF: every statistic of an empty CDF is NaN, not a
+// panic or a zero that could be mistaken for a measurement.
+func TestQuantileEmptyCDF(t *testing.T) {
+	var c CDF
+	for _, q := range []float64{0, 0.5, 0.99999, 1} {
+		if v := c.Quantile(q); !math.IsNaN(v) {
+			t.Errorf("empty CDF Quantile(%v) = %v, want NaN", q, v)
+		}
+	}
+	if v := c.Mean(); !math.IsNaN(v) {
+		t.Errorf("empty CDF Mean() = %v, want NaN", v)
+	}
+	if v := c.Fraction(1); !math.IsNaN(v) {
+		t.Errorf("empty CDF Fraction(1) = %v, want NaN", v)
+	}
+	if v := c.Min(); !math.IsNaN(v) {
+		t.Errorf("empty CDF Min() = %v, want NaN", v)
+	}
+	if v := c.Max(); !math.IsNaN(v) {
+		t.Errorf("empty CDF Max() = %v, want NaN", v)
+	}
+}
+
+// TestQuantileSingleSample: with one sample every quantile collapses to it,
+// including the extreme tails used by the latency reports.
+func TestQuantileSingleSample(t *testing.T) {
+	var c CDF
+	c.Add(42)
+	for _, q := range []float64{0, 0.5, 0.99, 0.99999, 1} {
+		if v := c.Quantile(q); v != 42 {
+			t.Errorf("Quantile(%v) = %v, want 42", q, v)
+		}
+	}
+}
+
+// TestQuantileExtremeTail pins the p99.999 interpolation arithmetic: with
+// n samples the tail quantile lands between the last two order statistics,
+// so it must interpolate toward the maximum, never overshoot it, and never
+// fall below the second-largest sample.
+func TestQuantileExtremeTail(t *testing.T) {
+	var c CDF
+	n := 1000
+	for i := 1; i <= n; i++ {
+		c.Add(float64(i))
+	}
+	q := 0.99999
+	got := c.Quantile(q)
+	// pos = q*(n-1) = 999.99001... between samples[998]=999 and samples[999]=1000.
+	pos := q * float64(n-1)
+	lo := math.Floor(pos)
+	want := float64(999)*(1-(pos-lo)) + 1000*(pos-lo)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+	}
+	if got <= 999 || got > 1000 {
+		t.Errorf("Quantile(%v) = %v, want in (999, 1000]", q, got)
+	}
+	if c.Quantile(1) != 1000 {
+		t.Errorf("Quantile(1) = %v, want exact max 1000", c.Quantile(1))
+	}
+}

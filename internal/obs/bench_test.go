@@ -1,0 +1,51 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsOverhead pins the cost of the primitives that sit on (or
+// next to) the controller's fast path. The acceptance budget: a counter
+// increment stays within ~10ns and none of the hot-path primitives
+// allocate. make profile records the numbers in results/bench_obs.txt.
+func BenchmarkObsOverhead(b *testing.B) {
+	r := New()
+	b.Run("counter_inc", func(b *testing.B) {
+		c := r.Counter("bench.counter")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("counter_inc_nil", func(b *testing.B) {
+		var c *Counter
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("gauge_add", func(b *testing.B) {
+		g := r.Gauge("bench.gauge")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Add(1)
+		}
+	})
+	b.Run("histogram_observe", func(b *testing.B) {
+		h := r.Histogram("bench.hist", 100, 1000, 10000, 100000, 1000000)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(int64(i) % 2000000)
+		}
+	})
+	b.Run("event_emit", func(b *testing.B) {
+		ev := r.EventType("bench.event", "a", "b")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev.Emit(int64(i), 7)
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = r.Snapshot()
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler serves a registry for live introspection:
+//
+//	/metrics        Prometheus text exposition of the current snapshot
+//	/debug/snapshot the Snapshot as JSON
+//	/debug/events   the retained trace ring as JSON, oldest first
+//	/debug/pprof/   the standard runtime profiles
+//
+// softcelld mounts it behind -debug-addr (off by default — the endpoints
+// expose internals and profiling, so binding them is an explicit
+// operator decision).
+func DebugHandler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, r.Snapshot()); err != nil {
+			// The snapshot rendered; the write failed because the client
+			// went away — nothing to clean up.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/snapshot", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write(r.Snapshot().JSON()); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteTrace(w); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func debugServer(t *testing.T) (*Registry, *httptest.Server) {
+	t.Helper()
+	r := New()
+	r.SetClock(func() int64 { return 1000 })
+	r.Counter("debug.hits").Add(3)
+	r.Histogram("debug.lat", 10, 100).Observe(42)
+	r.EventType("debug.ev", "n").Emit(7)
+	srv := httptest.NewServer(DebugHandler(r))
+	t.Cleanup(srv.Close)
+	return r, srv
+}
+
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestDebugMetricsEndpoint(t *testing.T) {
+	_, srv := debugServer(t)
+	body, ctype := get(t, srv.URL+"/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("content type %q", ctype)
+	}
+	for _, line := range []string{"debug_hits 3", `debug_lat_bucket{le="100"} 1`, "debug_lat_count 1"} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("/metrics missing %q:\n%s", line, body)
+		}
+	}
+}
+
+func TestDebugSnapshotEndpoint(t *testing.T) {
+	_, srv := debugServer(t)
+	body, ctype := get(t, srv.URL+"/debug/snapshot")
+	if ctype != "application/json" {
+		t.Fatalf("content type %q", ctype)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["debug.hits"] != 3 {
+		t.Fatalf("snapshot counters = %v", snap.Counters)
+	}
+	if snap.Histograms["debug.lat"].Count != 1 {
+		t.Fatalf("snapshot histograms = %v", snap.Histograms)
+	}
+}
+
+func TestDebugEventsEndpoint(t *testing.T) {
+	_, srv := debugServer(t)
+	body, ctype := get(t, srv.URL+"/debug/events")
+	if ctype != "application/json" {
+		t.Fatalf("content type %q", ctype)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("events not JSON: %v\n%s", err, body)
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	if events[0]["type"] != "debug.ev" || events[0]["n"] != float64(7) || events[0]["t"] != float64(1000) {
+		t.Fatalf("event = %v", events[0])
+	}
+}
+
+func TestDebugPprofEndpoint(t *testing.T) {
+	_, srv := debugServer(t)
+	body, _ := get(t, srv.URL+"/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+	if body, _ := get(t, srv.URL+"/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}

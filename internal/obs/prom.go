@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): dots become underscores, histograms expand to
+// cumulative _bucket{le="..."} series plus _sum and _count. Output is
+// sorted by name, so identical snapshots render identically.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var buf bytes.Buffer
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := promName(name)
+		buf.WriteString("# TYPE " + m + " counter\n")
+		buf.WriteString(m + " " + strconv.FormatUint(s.Counters[name], 10) + "\n")
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := promName(name)
+		buf.WriteString("# TYPE " + m + " gauge\n")
+		buf.WriteString(m + " " + strconv.FormatInt(s.Gauges[name], 10) + "\n")
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		m := promName(name)
+		buf.WriteString("# TYPE " + m + " histogram\n")
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			buf.WriteString(m + `_bucket{le="` + strconv.FormatInt(bound, 10) + `"} ` +
+				strconv.FormatUint(cum, 10) + "\n")
+		}
+		buf.WriteString(m + `_bucket{le="+Inf"} ` + strconv.FormatUint(h.Count, 10) + "\n")
+		buf.WriteString(m + "_sum " + strconv.FormatInt(h.Sum, 10) + "\n")
+		buf.WriteString(m + "_count " + strconv.FormatUint(h.Count, 10) + "\n")
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// promName maps a dot-separated obs name to a Prometheus metric name.
+func promName(name string) string {
+	return strings.ReplaceAll(name, ".", "_")
+}

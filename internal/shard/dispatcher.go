@@ -2,10 +2,12 @@ package shard
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/policy"
 	"repro/internal/topo"
@@ -42,6 +44,12 @@ type Config struct {
 	// Install passes installer options through; each shard's TagOffset and
 	// TagStride are overwritten with its partition coordinates.
 	Install core.InstallerOptions
+
+	// Obs, when non-nil, registers dispatcher-wide telemetry (cross-shard
+	// handoff latency, failover events) plus per-shard queue metrics and
+	// controller instrumentation under "shard.<id>" sub-views. nil runs
+	// uninstrumented.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +115,8 @@ type Dispatcher struct {
 	byPerm map[packet.Addr]string // guarded by mu
 
 	failMu sync.Mutex // serialises failovers
+
+	obs dispObs
 }
 
 // New builds the ring, partitions the topology's stations, and starts one
@@ -137,6 +147,7 @@ func New(cfg Config) (*Dispatcher, error) {
 		shards: make([]*Shard, cfg.Shards),
 		ues:    make(map[string]*ueEntry),
 		byPerm: make(map[packet.Addr]string),
+		obs:    newDispObs(cfg.Obs),
 	}
 	d.ring.Store(ring)
 	for _, id := range ids {
@@ -150,6 +161,10 @@ func New(cfg Config) (*Dispatcher, error) {
 		if owned == nil {
 			owned = []packet.BSID{} // non-nil: restricted to nothing rather than everything
 		}
+		var sub *obs.Registry
+		if cfg.Obs != nil {
+			sub = cfg.Obs.Sub("shard." + strconv.Itoa(id))
+		}
 		ctrl, err := core.NewController(cfg.Topology, core.ControllerConfig{
 			Plan:     cfg.Plan,
 			Gateway:  cfg.Gateway,
@@ -159,11 +174,12 @@ func New(cfg Config) (*Dispatcher, error) {
 			PermPool: pool,
 			Stations: owned,
 			Install:  install,
+			Obs:      sub,
 		})
 		if err != nil {
 			return nil, err
 		}
-		d.shards[id] = newShard(id, ctrl, owned, cfg.QueueLen, cfg.Workers, cfg.Batch)
+		d.shards[id] = newShard(id, ctrl, owned, cfg.QueueLen, cfg.Workers, cfg.Batch, newShardObs(cfg.Obs, id))
 	}
 	return d, nil
 }

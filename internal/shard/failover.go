@@ -155,5 +155,7 @@ func (d *Dispatcher) FailShard(id int, reports []core.AgentLocationReport) (Fail
 			d.setPerm(u.PermIP, u.IMSI)
 		}
 	}
+	d.obs.evFailover.Emit(int64(rep.Shard), int64(rep.Stations),
+		int64(rep.FromReports+rep.FromStore), int64(rep.Dropped))
 	return rep, nil
 }

@@ -45,10 +45,14 @@ func (d *Dispatcher) Handoff(imsi string, newBS packet.BSID) (core.HandoffResult
 		src.do(w)
 		hr, err := w.hr, w.err
 		putWork(w)
+		if err == nil {
+			d.obs.localDone.Inc()
+		}
 		return hr, err
 	}
 
 	// Cross-shard: freeze on the source...
+	start := d.obs.reg.Now()
 	mig, err := d.extract(src, imsi)
 	if err != nil {
 		return core.HandoffResult{}, err
@@ -72,6 +76,8 @@ func (d *Dispatcher) Handoff(imsi string, newBS packet.BSID) (core.HandoffResult
 		return core.HandoffResult{}, err
 	}
 	e.shard = target
+	d.obs.crossDone.Inc()
+	d.obs.crossLat.Observe(d.obs.reg.Now() - start)
 	return core.HandoffResult{
 		UE:       ue,
 		OldBS:    mig.OldBS,

@@ -1,0 +1,53 @@
+package shard
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// dispObs bundles the dispatcher's observability handles (nil-safe
+// no-ops when Config.Obs is unset). Dispatcher-wide metrics register on
+// the root registry; per-shard queue metrics register through a
+// "shard.<id>" Sub view, and each shard's controller instruments itself
+// under the same view — so one registry carries, e.g.,
+// shard.0.queue.depth next to shard.0.core.tagcache.hit.
+type dispObs struct {
+	reg        *obs.Registry
+	crossLat   *obs.Histogram // cross-shard handoff latency (ns)
+	crossDone  *obs.Counter
+	localDone  *obs.Counter
+	evFailover *obs.EventType
+}
+
+func newDispObs(reg *obs.Registry) dispObs {
+	if reg == nil {
+		return dispObs{}
+	}
+	return dispObs{
+		reg: reg,
+		crossLat: reg.Histogram("shard.handoff.cross_ns",
+			10000, 100000, 1000000, 10000000, 100000000),
+		crossDone:  reg.Counter("shard.handoff.cross"),
+		localDone:  reg.Counter("shard.handoff.local"),
+		evFailover: reg.EventType("shard.failover", "shard", "stations", "ues", "dropped"),
+	}
+}
+
+// shardObs holds one shard's queue telemetry, registered on the
+// dispatcher registry's "shard.<id>" view.
+type shardObs struct {
+	depth     *obs.Gauge
+	batchSize *obs.Histogram
+}
+
+func newShardObs(reg *obs.Registry, id int) shardObs {
+	if reg == nil {
+		return shardObs{}
+	}
+	sub := reg.Sub("shard." + strconv.Itoa(id))
+	return shardObs{
+		depth:     sub.Gauge("queue.depth"),
+		batchSize: sub.Histogram("batch.size", 1, 2, 4, 8, 16, 32, 64, 128),
+	}
+}

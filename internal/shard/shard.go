@@ -87,16 +87,18 @@ type Shard struct {
 	dead   atomic.Bool
 	served atomic.Uint64
 	wg     sync.WaitGroup
+	obs    shardObs
 }
 
 // newShard wires the queue and workers around a restricted controller.
-func newShard(id int, ctrl *core.Controller, stations []packet.BSID, queueLen, workers, batch int) *Shard {
+func newShard(id int, ctrl *core.Controller, stations []packet.BSID, queueLen, workers, batch int, so shardObs) *Shard {
 	s := &Shard{
 		ID:       id,
 		Ctrl:     ctrl,
 		Stations: stations,
 		queue:    make(chan *work, queueLen),
 		batch:    batch,
+		obs:      so,
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -117,6 +119,7 @@ func (s *Shard) do(w *work) {
 		w.err = ErrShardDown
 		return
 	}
+	s.obs.depth.Add(1)
 	s.queue <- w
 	<-w.done
 }
@@ -158,6 +161,8 @@ func (s *Shard) worker() {
 
 // serve answers one dequeued batch.
 func (s *Shard) serve(batch []*work, qs *[]core.PathQuery, idx *[]int, ans *[]core.PathAnswer) {
+	s.obs.depth.Add(-int64(len(batch)))
+	s.obs.batchSize.Observe(int64(len(batch)))
 	if s.dead.Load() {
 		for _, w := range batch {
 			w.err = ErrShardDown

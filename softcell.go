@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataplane"
 	"repro/internal/mbox"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/policy"
 	"repro/internal/topo"
@@ -72,6 +73,10 @@ type Options struct {
 
 	// Install passes Algorithm 1 options through (ablations, bounds).
 	Install core.InstallerOptions
+
+	// Obs instruments the controller's hot paths on this registry (nil:
+	// no telemetry).
+	Obs *obs.Registry
 }
 
 // StandardMBTypes is the default function-name-to-type mapping.
@@ -117,6 +122,7 @@ func New(opts Options) (*Network, error) {
 		MBTypes:  opts.MBTypes,
 		Replicas: opts.Replicas,
 		Install:  opts.Install,
+		Obs:      opts.Obs,
 	})
 	if err != nil {
 		return nil, err
