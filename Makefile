@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint fuzz verify bench bench-shards profile clean chaos cover
+.PHONY: all build test race vet lint fuzz verify bench bench-shards bench-dataplane profile clean chaos cover
 
 all: verify
 
@@ -30,6 +30,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzEncodeDecode$$' -fuzztime $(FUZZTIME) ./internal/ctrlproto
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/ctrlproto
 	$(GO) test -run '^$$' -fuzz '^FuzzMatch$$' -fuzztime $(FUZZTIME) ./internal/switchsim
+	$(GO) test -run '^$$' -fuzz '^FuzzBurstEquivalence$$' -fuzztime $(FUZZTIME) ./internal/fastpath
 
 # chaos runs a long seeded fault-injection soak (DESIGN.md §11). The
 # fixed-seed smoke run is part of tier-1 (`go test -race ./internal/chaos`
@@ -43,7 +44,7 @@ chaos:
 # results/coverage_baseline.txt when coverage grows; verify fails if a
 # change drops below it.
 cover:
-	@for pkg in internal/core internal/obs internal/shard; do \
+	@for pkg in internal/core internal/fastpath internal/obs internal/shard; do \
 		pct=$$($(GO) test -cover ./$$pkg | awk '{for (i=1;i<=NF;i++) if ($$i == "coverage:") {sub(/%/,"",$$(i+1)); print $$(i+1)}}'); \
 		base=$$(awk -v p="repro/$$pkg" '$$1 == p {print $$2}' results/coverage_baseline.txt); \
 		if [ -z "$$pct" ] || [ -z "$$base" ]; then echo "cover: no coverage or baseline for $$pkg"; exit 1; fi; \
@@ -66,10 +67,18 @@ verify:
 bench:
 	$(GO) run ./cmd/softcell-bench -mode controller -agents 16 -duration 1s \
 		-json results/BENCH_controller.json | tee results/bench_controller.txt
+	$(MAKE) bench-dataplane
 
 # bench-shards regenerates the committed shard-scaling sweep.
 bench-shards:
 	$(GO) run ./cmd/softcell-bench -mode shards -duration 500ms -out results/bench_shards.txt
+
+# bench-dataplane regenerates the committed forwarding-plane pps sweep
+# (DESIGN.md §13): single-packet walk vs burst fast path across burst
+# sizes and worker counts.
+bench-dataplane:
+	$(GO) run ./cmd/softcell-bench -mode dataplane -duration 1s \
+		-json results/BENCH_dataplane.json | tee results/bench_dataplane.txt
 
 # profile captures CPU and heap profiles of the controller hot path via the
 # Go benchmarks (DESIGN.md §10). Inspect with `go tool pprof results/cpu.pprof`.

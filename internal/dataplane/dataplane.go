@@ -8,11 +8,14 @@ package dataplane
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/agent"
 	"repro/internal/core"
+	"repro/internal/fastpath"
 	"repro/internal/mbox"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/switchsim"
 	"repro/internal/topo"
@@ -47,13 +50,18 @@ type Network struct {
 	agentAt  map[topo.NodeID]*agent.Agent
 	bindings []publicBinding // §7 public-IP classifiers, re-applied on Sync
 
+	fast *fastpath.Engine // burst fast path; see EnableFastPath (burst.go)
+	obs  *dpObs           // burst telemetry; see Instrument (obs.go)
+	reg  *obs.Registry    // registry handed to the fast path on enable
+
 	// Congestion scales the modelled queueing delay per hop (0 = idle
 	// network: only propagation and processing latency accrue). The walk's
 	// latency model serves the QoS experiments: higher-DSCP traffic waits
 	// in shorter virtual queues.
 	Congestion float64
 
-	// Stats
+	// Stats; bumped atomically so concurrent fast-path burst senders can
+	// tally alongside the single-threaded walks.
 	Delivered uint64
 	Exited    uint64
 	Dropped   uint64
@@ -128,6 +136,11 @@ func (n *Network) Sync() error {
 	}
 	for _, b := range n.bindings {
 		n.installBinding(b)
+	}
+	if n.fast != nil {
+		// Recompile stale fast-path snapshots now, so the control-plane
+		// change is paid for here rather than on the next burst.
+		n.fast.Net().Warm()
 	}
 	return nil
 }
@@ -324,20 +337,20 @@ func (n *Network) walk(node topo.NodeID, inPort int, p *packet.Packet) (WalkResu
 			res.Disposition, res.Last = PuntedAgent, cur
 			return res, nil
 		case v.Drop:
-			n.Dropped++
+			atomic.AddUint64(&n.Dropped, 1)
 			res.Disposition, res.Last = DroppedAt, cur
 			return res, nil
 		case v.Output == switchsim.PortUE:
-			n.Delivered++
+			atomic.AddUint64(&n.Delivered, 1)
 			res.Disposition, res.Last = Delivered, cur
 			return res, nil
 		case v.Output == switchsim.PortExit:
 			if n.GatewayNAT != nil && !n.GatewayNAT.Process(p, mbox.Upstream) {
-				n.Dropped++
+				atomic.AddUint64(&n.Dropped, 1)
 				res.Disposition, res.Last = DroppedAt, cur
 				return res, nil
 			}
-			n.Exited++
+			atomic.AddUint64(&n.Exited, 1)
 			res.Disposition, res.Last = ExitedNet, cur
 			return res, nil
 		case v.Output >= switchsim.PortTunnelBase:
@@ -359,7 +372,7 @@ func (n *Network) walk(node topo.NodeID, inPort int, p *packet.Packet) (WalkResu
 			res.Hops = append(res.Hops, Hop{Node: cur, MB: inst})
 			res.Latency += mbProcessing
 			if !box.Process(p, n.direction(p)) {
-				n.Dropped++
+				atomic.AddUint64(&n.Dropped, 1)
 				res.Disposition, res.Last = DroppedAt, cur
 				return res, nil
 			}
@@ -405,7 +418,7 @@ func (n *Network) SendUpstream(bs packet.BSID, p *packet.Packet) (WalkResult, er
 		return res, err
 	}
 	if !allowed {
-		n.Dropped++
+		atomic.AddUint64(&n.Dropped, 1)
 		res.Disposition = DroppedAt
 		return res, nil
 	}
@@ -433,7 +446,7 @@ func (n *Network) resolveArrivalPunts(res WalkResult, p *packet.Packet) (WalkRes
 			return res, err
 		}
 		if !delivered {
-			n.Dropped++
+			atomic.AddUint64(&n.Dropped, 1)
 			res.Disposition = DroppedAt
 			return res, nil
 		}
@@ -453,7 +466,7 @@ func (n *Network) resolveArrivalPunts(res WalkResult, p *packet.Packet) (WalkRes
 // directly.
 func (n *Network) SendDownstream(p *packet.Packet) (WalkResult, error) {
 	if n.GatewayNAT != nil && !n.GatewayNAT.Process(p, mbox.Downstream) {
-		n.Dropped++
+		atomic.AddUint64(&n.Dropped, 1)
 		return WalkResult{Disposition: DroppedAt, Last: n.Ctrl.Gateway(), Packet: p}, nil
 	}
 	res, err := n.walk(n.Ctrl.Gateway(), switchsim.PortExit, p)

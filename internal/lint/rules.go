@@ -60,6 +60,7 @@ func DefaultRules() *Rules {
 			"repro/internal/agent",
 			"repro/internal/chaos",
 			"repro/internal/core",
+			"repro/internal/fastpath",
 			"repro/internal/obs",
 			"repro/internal/shard",
 			"repro/internal/store",
@@ -67,6 +68,7 @@ func DefaultRules() *Rules {
 		},
 		DetermPkgs: []string{
 			"repro/internal/chaos",
+			"repro/internal/fastpath",
 			"repro/internal/obs",
 			"repro/internal/scenario",
 			"repro/internal/sim",
@@ -88,7 +90,11 @@ func DefaultRules() *Rules {
 			"repro/internal/lint":    {},
 			"repro/internal/topo":    {"repro/internal/packet"},
 			"repro/internal/switchsim": {
-				"repro/internal/packet",
+				"repro/internal/obs", "repro/internal/packet",
+			},
+			"repro/internal/fastpath": {
+				"repro/internal/obs", "repro/internal/packet",
+				"repro/internal/switchsim",
 			},
 			"repro/internal/mbox": {
 				"repro/internal/packet", "repro/internal/topo",
@@ -117,7 +123,8 @@ func DefaultRules() *Rules {
 			},
 			"repro/internal/dataplane": {
 				"repro/internal/agent", "repro/internal/core",
-				"repro/internal/mbox", "repro/internal/packet",
+				"repro/internal/fastpath", "repro/internal/mbox",
+				"repro/internal/obs", "repro/internal/packet",
 				"repro/internal/policy", "repro/internal/switchsim",
 				"repro/internal/topo",
 			},
@@ -145,7 +152,8 @@ func DefaultRules() *Rules {
 			},
 			"repro/internal/cbench": {
 				"repro/internal/agent", "repro/internal/core",
-				"repro/internal/ctrlproto", "repro/internal/obs",
+				"repro/internal/ctrlproto", "repro/internal/dataplane",
+				"repro/internal/mbox", "repro/internal/obs",
 				"repro/internal/packet", "repro/internal/policy",
 				"repro/internal/shard", "repro/internal/switchsim",
 				"repro/internal/topo",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/packet"
 )
@@ -21,9 +22,39 @@ type Rule struct {
 	Match    Match
 	Action   Action
 
+	// Packets and Bytes are traffic counters, mutated with atomic adds
+	// (see Account) so both the locked Process path and lock-free
+	// fast-path snapshots can attribute traffic to the same live rule.
 	Packets uint64
 	Bytes   uint64
 	seq     uint64
+}
+
+// Account attributes one packet of payloadBytes payload to the rule's
+// traffic counters. The adds are atomic so compiled fast-path snapshots
+// (internal/fastpath) can account without holding the switch lock.
+func (r *Rule) Account(payloadBytes int) {
+	atomic.AddUint64(&r.Packets, 1)
+	atomic.AddUint64(&r.Bytes, uint64(payloadBytes)+24)
+}
+
+// AccountN attributes a batch of packets to the rule's traffic counters in
+// one pair of atomic adds; the fast path tallies per burst and flushes here.
+func (r *Rule) AccountN(pkts, bytes uint64) {
+	atomic.AddUint64(&r.Packets, pkts)
+	atomic.AddUint64(&r.Bytes, bytes)
+}
+
+// snapshot copies the rule with atomically read counters.
+//
+// caller holds mu
+func (r *Rule) snapshot() Rule {
+	return Rule{
+		ID: r.ID, Priority: r.Priority, Match: r.Match, Action: r.Action,
+		Packets: atomic.LoadUint64(&r.Packets),
+		Bytes:   atomic.LoadUint64(&r.Bytes),
+		seq:     r.seq,
+	}
 }
 
 func (r *Rule) String() string {
@@ -69,15 +100,97 @@ type Switch struct {
 	nextID  RuleID                   // guarded by mu
 	nextSeq uint64                   // guarded by mu
 
+	// gen counts table mutations: every Install/Remove (TCAM or
+	// microflow), Apply and ClearTCAM bumps it. Writes happen under mu;
+	// reads go through Generation's atomic load, so fast-path snapshot
+	// caches detect staleness without touching the lock.
+	gen uint64
+
 	// TableMiss is the verdict for packets no rule covers. The default
 	// zero value drops; gateway/core switches usually leave it, access
 	// switches punt to the local agent. Set it before traffic starts; it is
 	// deliberately not guarded (agent.New assigns it during wiring).
 	TableMiss Action
 
-	// Stats
-	Processed uint64 // guarded by mu
-	Misses    uint64 // guarded by mu
+	// Stats, mutated with atomic adds (Process runs under a read lock,
+	// and fast-path snapshots account bursts with no lock at all).
+	Processed uint64
+	Misses    uint64
+
+	// obs is the optional telemetry handle set; see Instrument. All
+	// handles are nil (no-op) until then.
+	obs swObs
+}
+
+// Generation reports the table-mutation counter. A compiled snapshot taken
+// at generation g is exactly the current tables iff Generation() == g; a
+// mismatch means Apply/ClearTCAM/Install/Remove ran since and the snapshot
+// must be recompiled rather than silently served.
+func (s *Switch) Generation() uint64 {
+	return atomic.LoadUint64(&s.gen)
+}
+
+// bumpGen records one table mutation.
+//
+// caller holds mu
+func (s *Switch) bumpGen() {
+	atomic.AddUint64(&s.gen, 1)
+}
+
+// BurstStats aggregates one burst's pipeline tallies so compiled fast
+// paths can flush switch accounting once per burst instead of per packet.
+type BurstStats struct {
+	Packets   uint64 // packets entering the pipeline
+	MicroHit  uint64 // microflow exact-match hits
+	MicroMiss uint64 // packets falling through to the TCAM
+	TCAMHit   uint64 // TCAM rule executions (resubmits count again)
+	Miss      uint64 // table misses
+	Punt      uint64 // final verdict: to controller/agent
+	Drop      uint64 // final verdict: dropped
+}
+
+// AccountBurst adds a burst's tallies to the switch counters and telemetry.
+// The switch's Processed/Misses counts and obs series therefore read the
+// same whether packets took the locked Process path or a compiled
+// fast-path burst.
+func (s *Switch) AccountBurst(b BurstStats) {
+	atomic.AddUint64(&s.Processed, b.Packets)
+	atomic.AddUint64(&s.Misses, b.Miss)
+	s.obs.packets.Add(b.Packets)
+	s.obs.microHit.Add(b.MicroHit)
+	s.obs.microMiss.Add(b.MicroMiss)
+	s.obs.tcamHit.Add(b.TCAMHit)
+	s.obs.miss.Add(b.Miss)
+	s.obs.punt.Add(b.Punt)
+	s.obs.drop.Add(b.Drop)
+}
+
+// TableView is a consistent export of the switch's tables for fast-path
+// compilers: the generation it was taken at, the microflow entries, the
+// TCAM rules in match order, and the table-miss action. The rule pointers
+// are the live rules — treat them as read-only except for the atomic
+// traffic counters behind Rule.Account.
+type TableView struct {
+	Gen     uint64
+	Micro   map[packet.FlowKey]*Rule
+	Ordered []*Rule
+	Miss    Action
+}
+
+// View snapshots the tables under one read lock.
+func (s *Switch) View() TableView {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	micro := make(map[packet.FlowKey]*Rule, len(s.micro))
+	for k, r := range s.micro {
+		micro[k] = r
+	}
+	return TableView{
+		Gen:     s.gen,
+		Micro:   micro,
+		Ordered: append([]*Rule(nil), s.ordered...),
+		Miss:    s.TableMiss,
+	}
 }
 
 // NewSwitch returns an empty switch.
@@ -101,6 +214,7 @@ func (s *Switch) Install(prio int, m Match, a Action) RuleID {
 //
 // caller holds mu
 func (s *Switch) installLocked(prio int, m Match, a Action) RuleID {
+	s.bumpGen()
 	s.nextID++
 	s.nextSeq++
 	r := &Rule{ID: s.nextID, Priority: prio, Match: m.normalised(), Action: a, seq: s.nextSeq}
@@ -133,6 +247,7 @@ func (s *Switch) removeLocked(id RuleID) bool {
 	if !ok {
 		return false
 	}
+	s.bumpGen()
 	delete(s.rules, id)
 	for i, o := range s.ordered {
 		if o == r {
@@ -149,6 +264,7 @@ func (s *Switch) removeLocked(id RuleID) bool {
 func (s *Switch) InstallMicroflow(key packet.FlowKey, a Action) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.bumpGen()
 	s.nextID++
 	s.micro[key] = &Rule{ID: s.nextID, Priority: PrioMicroflow, Action: a}
 }
@@ -160,6 +276,7 @@ func (s *Switch) RemoveMicroflow(key packet.FlowKey) bool {
 	if _, ok := s.micro[key]; !ok {
 		return false
 	}
+	s.bumpGen()
 	delete(s.micro, key)
 	return true
 }
@@ -204,24 +321,33 @@ func (s *Switch) Apply(mods []Mod) []RuleID {
 // Rewrites are applied to p in place. A Resubmit action re-runs the TCAM
 // lookup (not the microflow table) with the rewritten headers, at most
 // four times.
+//
+// The whole walk — microflow lookup, resubmit chain, miss — runs under a
+// single read lock, so concurrent packets proceed in parallel and every
+// packet observes one consistent table state; counters are atomic.
 func (s *Switch) Process(p *packet.Packet, inPort int) Verdict {
-	s.mu.Lock() // counters mutate; keep it simple and correct
-	defer s.mu.Unlock()
-	s.Processed++
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	atomic.AddUint64(&s.Processed, 1)
+	s.obs.packets.Inc()
 
 	var v Verdict
 	matched := false
 	if r, ok := s.micro[p.Flow()]; ok {
+		s.obs.microHit.Inc()
 		v = s.execute(r, p)
 		matched = true
+	} else {
+		s.obs.microMiss.Inc()
 	}
 	for depth := 0; depth < 4; depth++ {
 		if matched && !v.resubmit {
-			return v
+			return s.finish(v)
 		}
 		matched = false
 		for _, r := range s.ordered {
 			if r.Match.Covers(p, inPort) {
+				s.obs.tcamHit.Inc()
 				v = s.execute(r, p)
 				matched = true
 				break
@@ -232,21 +358,32 @@ func (s *Switch) Process(p *packet.Packet, inPort int) Verdict {
 		}
 	}
 	if matched {
-		return v
+		return s.finish(v)
 	}
-	s.Misses++
+	atomic.AddUint64(&s.Misses, 1)
+	s.obs.miss.Inc()
 	v = Verdict{Output: -1}
 	a := s.TableMiss
 	a.apply(p)
 	v.Drop = a.Drop || (!a.ToController && a.Output < 0)
 	v.ToController = a.ToController
 	v.Output = a.Output
+	return s.finish(v)
+}
+
+// finish counts the packet's final outcome.
+func (s *Switch) finish(v Verdict) Verdict {
+	switch {
+	case v.ToController:
+		s.obs.punt.Inc()
+	case v.Drop:
+		s.obs.drop.Inc()
+	}
 	return v
 }
 
 func (s *Switch) execute(r *Rule, p *packet.Packet) Verdict {
-	r.Packets++
-	r.Bytes += uint64(len(p.Payload)) + 24
+	r.Account(len(p.Payload))
 	r.Action.apply(p)
 	return Verdict{
 		Rule:         r,
@@ -278,7 +415,7 @@ func (s *Switch) Rules() []Rule {
 	defer s.mu.RUnlock()
 	out := make([]Rule, len(s.ordered))
 	for i, r := range s.ordered {
-		out[i] = *r
+		out[i] = r.snapshot()
 	}
 	return out
 }
@@ -291,7 +428,7 @@ func (s *Switch) Rule(id RuleID) (Rule, bool) {
 	if !ok {
 		return Rule{}, false
 	}
-	return *r, true
+	return r.snapshot(), true
 }
 
 // ClearTCAM removes every TCAM rule but keeps the microflow table — the
@@ -300,6 +437,7 @@ func (s *Switch) Rule(id RuleID) (Rule, bool) {
 func (s *Switch) ClearTCAM() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.bumpGen()
 	s.rules = make(map[RuleID]*Rule)
 	s.ordered = nil
 }
