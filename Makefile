@@ -18,9 +18,13 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the softcell-lint invariant checkers (DESIGN.md §9): lock
-# discipline, determinism, layering, wire-safety, dropped errors.
+# discipline and ordering, hot-path alloc/lock freedom (cross-checked
+# against compiler escape analysis), atomic publication, determinism,
+# layering, wire-safety, dropped errors. The machine-readable report
+# (including suppressed findings and every //lint:ignore) lands in
+# results/lint.json.
 lint:
-	$(GO) run ./cmd/softcell-lint ./...
+	$(GO) run ./cmd/softcell-lint -escape -json results/lint.json ./...
 
 # fuzz gives each wire-codec fuzz target a short budget (the seed corpora
 # under testdata/fuzz also run on every plain `go test`).
@@ -57,7 +61,7 @@ cover:
 # verify is the gate every change must pass.
 verify:
 	$(GO) vet ./...
-	$(GO) run ./cmd/softcell-lint ./...
+	$(GO) run ./cmd/softcell-lint -escape -json results/lint.json ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) cover

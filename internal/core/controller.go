@@ -45,7 +45,9 @@ type pathKey struct {
 // tagMap is the read-mostly memo published to RequestPath's lock-free fast
 // path: (bs, clause) -> access-side tag of the installed policy path. A
 // valid tag is never 0 (Installer tags start at offset+stride), so a zero
-// lookup result always means "miss".
+// lookup result always means "miss". Snapshots are copy-on-write and
+// immutable after publish: publishers build a fresh map and swap the
+// pointer, never mutate the published one.
 type tagMap map[pathKey]packet.Tag
 
 // ControllerConfig parameterises NewController.
@@ -355,6 +357,8 @@ func (c *Controller) classifiersLocked(ue *UE) []Classifier {
 // This is the controller's hot path: the micro-benchmarks drive it. The
 // steady state — the path already installed — reads the tagCache snapshot
 // with no lock and no allocation.
+//
+// hotpath: no alloc, no lock
 func (c *Controller) RequestPath(bs packet.BSID, clause int) (packet.Tag, error) {
 	c.pathAsks.Add(1)
 	if tag, ok := (*c.tagCache.Load())[pathKey{bs, clause}]; ok {
@@ -368,6 +372,8 @@ func (c *Controller) RequestPath(bs packet.BSID, clause int) (packet.Tag, error)
 // requestPathSlow is the miss path: it checks station ownership under the
 // UE read lock, then installs (or discovers, if another goroutine raced the
 // install) the path under the rule-table lock.
+//
+// hotpath: cold
 func (c *Controller) requestPathSlow(bs packet.BSID, clause int) (packet.Tag, error) {
 	c.ueMu.RLock()
 	owns := c.ownsLocked(bs)

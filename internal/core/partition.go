@@ -67,8 +67,11 @@ type PathAnswer struct {
 // tag is never 0) pay for the ownership check and the rule-table lock, and
 // those locks are taken once per batch, not once per miss. out is reused
 // when it has capacity.
+//
+// hotpath: no alloc, no lock
 func (c *Controller) RequestPathBatch(qs []PathQuery, out []PathAnswer) []PathAnswer {
 	if cap(out) < len(qs) {
+		//lint:ignore hotpath first-call growth only; steady-state batches reuse the caller's slice
 		out = make([]PathAnswer, len(qs))
 	}
 	out = out[:len(qs)]
@@ -86,6 +89,15 @@ func (c *Controller) RequestPathBatch(qs []PathQuery, out []PathAnswer) []PathAn
 	if misses == 0 {
 		return out
 	}
+	return c.requestPathBatchSlow(qs, out, misses)
+}
+
+// requestPathBatchSlow answers the cache misses of one batch: the
+// ownership check under the UE read lock, then resolution under the
+// rule-table lock, each taken once for the whole batch.
+//
+// hotpath: cold
+func (c *Controller) requestPathBatchSlow(qs []PathQuery, out []PathAnswer, misses int) []PathAnswer {
 	c.obs.cacheMiss.Add(uint64(misses))
 	c.ueMu.RLock()
 	for i := range out {

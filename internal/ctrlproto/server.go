@@ -66,6 +66,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			//lint:ignore lockcheck Serve's registration lock is released before the accept loop; serveConn runs on its own goroutine
 			s.serveConn(raw)
 		}()
 	}
@@ -112,6 +113,7 @@ func (s *Server) serveConn(raw net.Conn) {
 		go func() {
 			defer wg.Done()
 			for f := range frames {
+				//lint:ignore lockcheck the registration lock is released before the workers start; handle locks on its own goroutine
 				s.handle(c, f)
 				s.obsInflight.Add(-1)
 				if inflight.Add(-1) == 0 {

@@ -168,6 +168,7 @@ func (sc *scratch) get() []int32 {
 		sc.free = sc.free[:n-1]
 		return s[:0]
 	}
+	//lint:ignore hotpath warm-up only: every walked slice lands back on the free list
 	return make([]int32, 0, 64)
 }
 
@@ -181,6 +182,7 @@ func (sc *scratch) put(s []int32) {
 // repeats. Hop counts accrue per packet in Res.
 func (n *Net) walkBurst(sc *scratch, j *Job) {
 	n.o.walked(len(j.Pkts))
+	//lint:ignore hotpath warm-up growth of the free list (see scratch.get); the compiler reports the inlined make here
 	first := sc.get()
 	for i := range j.Pkts {
 		j.Res[i] = Result{}
@@ -200,6 +202,7 @@ func (n *Net) walkBurst(sc *scratch, j *Job) {
 func (n *Net) stepGroup(sc *scratch, j *Job, g group) {
 	fib := n.fibs[g.node]
 	snap := fib.Acquire()
+	//lint:ignore hotpath accumulator grows only when a recompiled snapshot gains slots (see tally.ensure)
 	sc.t.ensure(snap.slots())
 	t := &sc.t
 	links := n.links[g.node]
@@ -260,6 +263,7 @@ func (n *Net) forward(sc *scratch, j *Job, i, node int32, inPort int) {
 			return
 		}
 	}
+	//lint:ignore hotpath warm-up growth of the free list (see scratch.get); the compiler reports the inlined make here
 	idx := sc.get()
 	sc.queue = append(sc.queue, group{node: node, inPort: int32(inPort), idx: append(idx, i)})
 }
@@ -282,6 +286,8 @@ func (n *Net) NewWalker() *Walker { return &Walker{n: n} }
 // Walk runs one burst entering at origin on inPort in the calling
 // goroutine. res must have len(pkts) entries; the same slice is returned
 // filled.
+//
+// hotpath: no alloc, no lock
 func (w *Walker) Walk(origin, inPort int, pkts []*packet.Packet, res []Result) []Result {
 	w.j = Job{Origin: origin, InPort: inPort, Pkts: pkts, Res: res}
 	w.n.walkBurst(&w.sc, &w.j)

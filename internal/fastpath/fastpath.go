@@ -152,7 +152,8 @@ type flowEntry struct {
 // line in the burst profile; packing the key into two words and probing a
 // flat power-of-two table with one multiply-mix hash is severalfold
 // cheaper per lookup. The table is built once at compile time and only
-// read afterwards, so it needs no tombstones and no resizing.
+// read afterwards — it is immutable after publish — so it needs no
+// tombstones and no resizing.
 type flowTable struct {
 	ent  []flowEntry
 	mask uint32
@@ -180,7 +181,8 @@ func flowHash(hi, lo uint64) uint32 {
 	return uint32(x)
 }
 
-// init sizes the table for n flows at a <=50% load factor.
+// init sizes the table for n flows at a <=50% load factor; init
+// constructs flowTable state before the enclosing snapshot publishes.
 func (t *flowTable) init(n int) {
 	size := 8
 	for size < 2*n {
@@ -193,7 +195,8 @@ func (t *flowTable) init(n int) {
 	}
 }
 
-// insert adds a key during compilation (duplicates overwrite).
+// insert adds a key during compilation (duplicates overwrite); insert
+// constructs flowTable state before the enclosing snapshot publishes.
 func (t *flowTable) insert(hi, lo uint64, slot int32) {
 	i := flowHash(hi, lo) & t.mask
 	for t.ent[i].slot >= 0 {
@@ -253,6 +256,7 @@ type tally struct {
 // Entries are kept zeroed by flush, so re-slicing within capacity is safe.
 func (t *tally) ensure(n int) {
 	if cap(t.acc) < n {
+		//lint:ignore hotpath grows only when a recompiled snapshot gains slots; steady state re-slices
 		t.acc = make([]ruleAcc, n)
 	}
 	t.acc = t.acc[:n]
@@ -268,10 +272,10 @@ func (t *tally) account(slot int32, payload int) {
 	a.bytes += uint64(payload) + 24
 }
 
-// Snapshot is the immutable compiled state of one switch's tables at a
-// single generation. All lookups are read-only; the only mutation a
-// lookup performs outside its own packet is the atomic traffic counter
-// on the live rules.
+// Snapshot is the compiled state of one switch's tables at a single
+// generation; it is immutable after publish. All lookups are read-only;
+// the only mutation a lookup performs outside its own packet is the
+// atomic traffic counter on the live rules.
 type Snapshot struct {
 	// Gen is the switch generation the snapshot was compiled at. A FIB
 	// serves the snapshot only while the switch still reports the same
@@ -290,6 +294,8 @@ type Snapshot struct {
 }
 
 // Compile flattens the switch's current tables into an immutable snapshot.
+//
+// hotpath: cold
 func Compile(sw *switchsim.Switch) *Snapshot {
 	v := sw.View()
 	s := &Snapshot{

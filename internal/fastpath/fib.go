@@ -34,6 +34,8 @@ func (f *FIB) instrument(o *fpObs) { f.o = o }
 // generation equals the switch's at the moment of the check. Steady state
 // is two atomic loads; after a table mutation the first acquirer pays one
 // compile and publishes for everyone.
+//
+// hotpath: no alloc, no lock
 func (f *FIB) Acquire() *Snapshot {
 	cur := f.snap.Load()
 	gen := f.sw.Generation()
@@ -78,12 +80,16 @@ func (f *FIB) NewProc() *Proc {
 // next call), and switch accounting plus telemetry flush once per burst.
 // Header rewrites are applied to the packets in place, exactly as the
 // single-packet Process path would.
+//
+// hotpath: no alloc, no lock
 func (p *Proc) ProcessBurst(pkts []*packet.Packet, inPort int) []Verdict {
 	snap := p.fib.Acquire()
 	if cap(p.verdicts) < len(pkts) {
+		//lint:ignore hotpath scratch growth on the first oversized burst only; steady state reuses it
 		p.verdicts = make([]Verdict, len(pkts))
 	}
 	p.verdicts = p.verdicts[:len(pkts)]
+	//lint:ignore hotpath accumulator grows only when a recompiled snapshot gains slots (see tally.ensure)
 	p.t.ensure(snap.slots())
 	for i, pkt := range pkts {
 		p.verdicts[i] = snap.lookup(pkt, inPort, &p.t)

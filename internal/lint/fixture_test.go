@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -134,6 +135,30 @@ func TestErrDropFixture(t *testing.T) {
 	checkFixture(t, prog, &Rules{ErrAllowNames: []string{"Close"}}, []*Analyzer{ErrDrop})
 }
 
+func TestHotPathFixture(t *testing.T) {
+	prog := loadFixture(t, "hot")
+	checkFixture(t, prog, &Rules{}, []*Analyzer{HotPath})
+}
+
+func TestAtomicPubFixture(t *testing.T) {
+	prog := loadFixture(t, "atomicpub")
+	checkFixture(t, prog, &Rules{}, []*Analyzer{AtomicPub})
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	prog := loadFixture(t, "lockord")
+	checkFixture(t, prog, &Rules{LockPkgs: []string{"fixture/lockord"}}, []*Analyzer{LockOrder})
+}
+
+// TestIgnoreExactness pins analyzer-exact suppression: a directive only
+// consumes findings of the analyzer it names, and unknown names are
+// rejected rather than silently swallowing the line below.
+func TestIgnoreExactness(t *testing.T) {
+	prog := loadFixture(t, "exact")
+	checkFixture(t, prog, &Rules{DetermPkgs: []string{"fixture/exact"}},
+		[]*Analyzer{Determinism, ErrDrop})
+}
+
 // TestIgnoreDirectives checks the machinery itself: a stale suppression and
 // a malformed directive are both findings under the pseudo-rule "lint".
 func TestIgnoreDirectives(t *testing.T) {
@@ -161,7 +186,8 @@ func TestIgnoreDirectives(t *testing.T) {
 
 // TestAnalyzersComplete pins the production analyzer set.
 func TestAnalyzersComplete(t *testing.T) {
-	want := []string{"lockcheck", "determinism", "layering", "wiresafe", "errdrop", "obscheck"}
+	want := []string{"lockcheck", "lockorder", "hotpath", "atomicpub",
+		"determinism", "layering", "wiresafe", "errdrop", "obscheck"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
@@ -177,16 +203,30 @@ func TestAnalyzersComplete(t *testing.T) {
 }
 
 // TestRepoIsClean loads the whole module and asserts the production rules
-// produce zero findings — the same gate `make verify` runs.
+// produce zero findings — the same gate `make verify` runs, including the
+// compiler escape cross-check (some hot-path suppressions exist only for
+// escape findings; without Escapes they would report as unused).
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-module type-check is slow; skipped in -short")
 	}
-	prog, err := NewLoader(filepath.Join("..", ".."), "repro").LoadAll()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := NewLoader(root, "repro").LoadAll()
 	if err != nil {
 		t.Fatalf("LoadAll: %v", err)
 	}
-	diags := Run(prog, DefaultRules(), Analyzers())
+	rules := DefaultRules()
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build -gcflags=-m: %v\n%s", err, out)
+	}
+	rules.Escapes = ParseEscapes(root, out)
+	diags := Run(prog, rules, Analyzers())
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}

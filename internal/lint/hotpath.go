@@ -1,0 +1,596 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HotPath enforces the "// hotpath:" annotation: a function whose doc
+// comment carries
+//
+//	// hotpath: no alloc, no lock
+//
+// becomes the root of a call-graph walk over the whole module, and every
+// reachable construct that violates one of the declared constraints is a
+// finding. The constraints are
+//
+//	no alloc — no heap allocation: new, make, slice/map composite
+//	           literals, &composite literals, closures (func literals and
+//	           bound method values), interface boxing of concrete
+//	           arguments, and any call into fmt or errors;
+//	no lock  — no blocking coordination: sync.Mutex/RWMutex acquisition,
+//	           WaitGroup.Wait, Once.Do, Cond.Wait, channel sends/receives,
+//	           select, go statements;
+//	no io    — no calls into I/O packages (io, os, net, bufio, log, ...).
+//
+// A function annotated "// hotpath: cold" is an audited slow-path
+// boundary: the walk stops there, so a hot function may delegate its miss
+// path to a cold helper without the helper's allocations bleeding into the
+// hot set. Arguments of panic(...) are exempt everywhere — constructing a
+// crash message may allocate. append is deliberately not flagged: the
+// amortised-growth idiom is pinned by the ReportAllocs benchmarks instead.
+//
+// When Rules.Escapes is populated (softcell-lint -escape parses `go build
+// -gcflags=-m` output into it), any compiler-reported heap escape inside
+// the body of a function reachable from a no-alloc root is also a finding,
+// so the annotation and the compiler's own escape analysis cannot drift.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "functions annotated '// hotpath:' must not reach allocations, locks, or I/O; cross-checked against compiler escape analysis via -escape",
+	Run:  runHotPath,
+}
+
+// EscapeDiag is one heap-escape diagnostic parsed from compiler -m output.
+type EscapeDiag struct {
+	File string // absolute path
+	Line int
+	Msg  string
+}
+
+// ParseEscapes extracts "escapes to heap" / "moved to heap" diagnostics
+// from `go build -gcflags=-m` output, resolving relative paths against
+// root. Everything else in the (noisy) -m stream is dropped.
+func ParseEscapes(root string, out []byte) []EscapeDiag {
+	var diags []EscapeDiag
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		i := strings.Index(line, ".go:")
+		if i < 0 {
+			continue
+		}
+		file := line[:i+3]
+		rest := line[i+4:] // "LINE:COL: msg"
+		parts := strings.SplitN(rest, ":", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		msg := strings.TrimSpace(parts[2])
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		ln, err := strconv.Atoi(parts[0])
+		if err != nil || ln <= 0 {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		if abs, err := filepath.Abs(file); err == nil {
+			file = abs
+		}
+		diags = append(diags, EscapeDiag{File: file, Line: ln, Msg: msg})
+	}
+	return diags
+}
+
+// hotConstraints is one parsed annotation.
+type hotConstraints struct {
+	noAlloc bool
+	noLock  bool
+	noIO    bool
+	cold    bool
+	label   string // normalised item list, for messages
+}
+
+// hotAnnotation extracts the raw item list from a doc comment, if any.
+func hotAnnotation(fn *ast.FuncDecl) (string, bool) {
+	if fn.Doc == nil {
+		return "", false
+	}
+	for _, line := range strings.Split(fn.Doc.Text(), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "hotpath:"); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// parseHotConstraints validates the annotation grammar. It returns a
+// non-empty problem description on error.
+func parseHotConstraints(raw string) (hotConstraints, string) {
+	var c hotConstraints
+	var items []string
+	for _, item := range strings.Split(raw, ",") {
+		item = strings.Join(strings.Fields(item), " ")
+		switch item {
+		case "no alloc":
+			c.noAlloc = true
+		case "no lock":
+			c.noLock = true
+		case "no io":
+			c.noIO = true
+		case "cold":
+			c.cold = true
+		case "":
+			return c, "empty constraint list: want 'no alloc', 'no lock', 'no io', or 'cold'"
+		default:
+			return c, fmt.Sprintf("unknown constraint %q (want 'no alloc', 'no lock', 'no io', or 'cold')", item)
+		}
+		items = append(items, item)
+	}
+	if c.cold && len(items) > 1 {
+		return c, "cold cannot be combined with constraints: a cold function is a walk boundary"
+	}
+	c.label = strings.Join(items, ", ")
+	return c, ""
+}
+
+// declSite locates one function declaration with a body.
+type declSite struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// buildDeclIndex maps every module function object to its declaration, so
+// call edges can be followed across packages.
+func buildDeclIndex(prog *Program) map[*types.Func]declSite {
+	idx := make(map[*types.Func]declSite)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+					idx[obj] = declSite{pkg, fn}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// hotViolation is one constraint-relevant construct found in a body.
+type hotViolation struct {
+	pos  token.Pos
+	kind string // "alloc" | "lock" | "io"
+	desc string
+}
+
+// posRange is a source span (used for panic-argument exemptions).
+type posRange struct{ start, end token.Pos }
+
+// hotFacts summarises one function body for the hot-path walk.
+type hotFacts struct {
+	viols  []hotViolation
+	calls  []*types.Func // outgoing edges, source order, deduped
+	pruned []posRange    // panic-argument spans, exempt from escape checks
+}
+
+var hotIOPkgs = map[string]bool{
+	"bufio": true, "io": true, "io/fs": true, "log": true,
+	"net": true, "net/http": true, "os": true, "syscall": true,
+}
+
+// hotScanner walks one function body collecting violations and call edges.
+type hotScanner struct {
+	pkg     *Package
+	idx     map[*types.Func]declSite
+	facts   *hotFacts
+	skipLit map[ast.Expr]bool // composite literals already charged via &
+	callFun map[ast.Expr]bool // expressions in call-function position
+	seen    map[*types.Func]bool
+}
+
+// scanHotBody computes the facts of one declaration.
+func scanHotBody(site declSite, idx map[*types.Func]declSite) *hotFacts {
+	s := &hotScanner{
+		pkg:     site.pkg,
+		idx:     idx,
+		facts:   &hotFacts{},
+		skipLit: make(map[ast.Expr]bool),
+		callFun: make(map[ast.Expr]bool),
+		seen:    make(map[*types.Func]bool),
+	}
+	ast.Inspect(site.decl.Body, s.visit)
+	sort.Slice(s.facts.viols, func(i, j int) bool { return s.facts.viols[i].pos < s.facts.viols[j].pos })
+	return s.facts
+}
+
+func (s *hotScanner) viol(pos token.Pos, kind, desc string) {
+	s.facts.viols = append(s.facts.viols, hotViolation{pos, kind, desc})
+}
+
+func (s *hotScanner) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		s.viol(n.Pos(), "alloc", "func literal allocates a closure")
+		return false // the closure body runs elsewhere, off this path
+	case *ast.GoStmt:
+		s.viol(n.Pos(), "lock", "go statement hands off to the scheduler")
+		return false
+	case *ast.SendStmt:
+		s.viol(n.Pos(), "lock", "channel send blocks")
+	case *ast.SelectStmt:
+		s.viol(n.Pos(), "lock", "select blocks on channels")
+	case *ast.RangeStmt:
+		if tv, ok := s.pkg.Info.Types[n.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				s.viol(n.Pos(), "lock", "range over channel blocks")
+			}
+		}
+	case *ast.UnaryExpr:
+		switch n.Op {
+		case token.ARROW:
+			s.viol(n.Pos(), "lock", "channel receive blocks")
+		case token.AND:
+			if lit, ok := n.X.(*ast.CompositeLit); ok {
+				s.viol(n.Pos(), "alloc", "&composite literal allocates")
+				s.skipLit[lit] = true
+			}
+		}
+	case *ast.BinaryExpr:
+		// Constant concatenations fold at compile time and stay silent.
+		if n.Op == token.ADD {
+			if tv, ok := s.pkg.Info.Types[n]; ok && tv.Type != nil && tv.Value == nil {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					s.viol(n.Pos(), "alloc", "string concatenation allocates")
+				}
+			}
+		}
+	case *ast.CompositeLit:
+		if !s.skipLit[n] {
+			if tv, ok := s.pkg.Info.Types[n]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					s.viol(n.Pos(), "alloc", "slice literal allocates")
+				case *types.Map:
+					s.viol(n.Pos(), "alloc", "map literal allocates")
+				}
+			}
+		}
+	case *ast.CallExpr:
+		return s.visitCall(n)
+	case *ast.SelectorExpr:
+		// A method selector used as a value (not called) is a bound method
+		// value: it captures the receiver in a fresh closure.
+		if !s.callFun[n] {
+			if sel, ok := s.pkg.Info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				s.viol(n.Pos(), "alloc", "bound method value allocates a closure")
+			}
+		}
+	case *ast.Ident:
+		s.edge(n)
+	}
+	return true
+}
+
+// visitCall classifies one call expression. It returns false when the whole
+// subtree has been handled (panic arguments are exempt).
+func (s *hotScanner) visitCall(call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	s.callFun[fun] = true
+
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := s.pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "panic":
+				// Crash-message construction is exempt: the program is over.
+				s.facts.pruned = append(s.facts.pruned, posRange{call.Pos(), call.End()})
+				return false
+			case "make":
+				s.viol(call.Pos(), "alloc", "make allocates")
+			case "new":
+				s.viol(call.Pos(), "alloc", "new allocates")
+			}
+			return true
+		}
+	}
+
+	// Conversions to an interface type box their operand.
+	if tv, ok := s.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			s.checkBoxed(call.Args[0], "conversion")
+		}
+		return true
+	}
+
+	if fn := calleeFunc(s.pkg, call); fn != nil && fn.Pkg() != nil {
+		switch path := fn.Pkg().Path(); {
+		case path == "fmt":
+			s.viol(call.Pos(), "alloc", "fmt."+fn.Name()+" formats and allocates")
+			return true // covers the boxing of its arguments too
+		case path == "errors":
+			s.viol(call.Pos(), "alloc", "errors."+fn.Name()+" allocates")
+			return true
+		case hotIOPkgs[path]:
+			s.viol(call.Pos(), "io", path+"."+fn.Name()+" performs I/O")
+		case path == "sync":
+			s.violSync(call, fn)
+		}
+	}
+	s.checkBoxing(call)
+	return true
+}
+
+// violSync flags blocking sync primitives (sync/atomic is a different
+// package and stays clean).
+func (s *hotScanner) violSync(call *ast.CallExpr, fn *types.Func) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return
+	}
+	tn, mn := named.Obj().Name(), fn.Name()
+	switch {
+	case (tn == "Mutex" || tn == "RWMutex") &&
+		(mn == "Lock" || mn == "RLock" || mn == "TryLock" || mn == "TryRLock"):
+		s.viol(call.Pos(), "lock", "acquires sync."+tn+" ("+mn+")")
+	case tn == "WaitGroup" && mn == "Wait",
+		tn == "Once" && mn == "Do",
+		tn == "Cond" && mn == "Wait":
+		s.viol(call.Pos(), "lock", "sync."+tn+"."+mn+" blocks")
+	}
+}
+
+// checkBoxing flags concrete, non-pointer-shaped arguments passed to
+// interface parameters: the value is copied to the heap to fit behind the
+// interface word.
+func (s *hotScanner) checkBoxing(call *ast.CallExpr) {
+	tv, ok := s.pkg.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				return // the slice is passed through as-is
+			}
+			st, ok := params.At(params.Len() - 1).Type().Underlying().(*types.Slice)
+			if !ok {
+				return
+			}
+			pt = st.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			return
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		s.checkBoxed(arg, "argument")
+	}
+}
+
+func (s *hotScanner) checkBoxed(arg ast.Expr, what string) {
+	at, ok := s.pkg.Info.Types[arg]
+	if !ok || at.Type == nil || at.IsNil() || types.IsInterface(at.Type) {
+		return
+	}
+	// Pointer-shaped values fit in the interface word without allocating.
+	switch at.Type.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return
+	}
+	if b, ok := at.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return
+	}
+	s.viol(arg.Pos(), "alloc", what+" boxed into interface allocates")
+}
+
+// edge records a call-graph edge for every use of a module function name —
+// direct calls, method values, and function references alike.
+func (s *hotScanner) edge(id *ast.Ident) {
+	fn, ok := s.pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	if _, ok := s.idx[fn]; !ok {
+		return
+	}
+	if !s.seen[fn] {
+		s.seen[fn] = true
+		s.facts.calls = append(s.facts.calls, fn)
+	}
+}
+
+// funcDisplay names a function for diagnostics ("Controller.RequestPath").
+func funcDisplay(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+func runHotPath(prog *Program, rules *Rules, report Reporter) {
+	idx := buildDeclIndex(prog)
+
+	type rootInfo struct {
+		fn   *types.Func
+		cons hotConstraints
+	}
+	var roots []rootInfo
+	cold := make(map[*types.Func]bool)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fdecl, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				raw, found := hotAnnotation(fdecl)
+				if !found {
+					continue
+				}
+				cons, problem := parseHotConstraints(raw)
+				if problem != "" {
+					report(fdecl.Pos(), "bad hotpath annotation: %s", problem)
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fdecl.Name].(*types.Func)
+				if obj == nil || fdecl.Body == nil {
+					continue
+				}
+				if cons.cold {
+					cold[obj] = true
+					continue
+				}
+				roots = append(roots, rootInfo{obj, cons})
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	escByFile := make(map[string][]EscapeDiag)
+	for _, e := range rules.Escapes {
+		escByFile[e.File] = append(escByFile[e.File], e)
+	}
+
+	factsOf := make(map[*types.Func]*hotFacts)
+	getFacts := func(fn *types.Func) *hotFacts {
+		if f, ok := factsOf[fn]; ok {
+			return f
+		}
+		f := scanHotBody(idx[fn], idx)
+		factsOf[fn] = f
+		return f
+	}
+
+	reported := make(map[string]bool)
+	for _, r := range roots {
+		rootName := funcDisplay(r.fn)
+		type qitem struct {
+			fn    *types.Func
+			chain string
+		}
+		visited := map[*types.Func]bool{r.fn: true}
+		queue := []qitem{{r.fn, ""}}
+		for len(queue) > 0 {
+			it := queue[0]
+			queue = queue[1:]
+			facts := getFacts(it.fn)
+			for _, v := range facts.viols {
+				if (v.kind == "alloc" && !r.cons.noAlloc) ||
+					(v.kind == "lock" && !r.cons.noLock) ||
+					(v.kind == "io" && !r.cons.noIO) {
+					continue
+				}
+				key := fmt.Sprintf("%d|%s", v.pos, v.desc)
+				if reported[key] {
+					continue
+				}
+				reported[key] = true
+				if it.chain == "" {
+					report(v.pos, "%s in hot function %s (hotpath: %s)", v.desc, rootName, r.cons.label)
+				} else {
+					report(v.pos, "%s reachable from hot function %s via %s (hotpath: %s)",
+						v.desc, rootName, it.chain, r.cons.label)
+				}
+			}
+			if r.cons.noAlloc && len(escByFile) > 0 {
+				checkEscapes(prog, idx[it.fn], facts, escByFile, rootName, it.chain, reported, report)
+			}
+			for _, callee := range facts.calls {
+				if visited[callee] || cold[callee] {
+					continue
+				}
+				visited[callee] = true
+				chain := funcDisplay(callee)
+				if it.chain != "" {
+					chain = it.chain + " -> " + chain
+				}
+				queue = append(queue, qitem{callee, chain})
+			}
+		}
+	}
+}
+
+// checkEscapes reports compiler escape diagnostics that land inside the
+// body of a function on a no-alloc hot path (panic spans exempt).
+func checkEscapes(prog *Program, site declSite, facts *hotFacts, escByFile map[string][]EscapeDiag,
+	rootName, chain string, reported map[string]bool, report Reporter) {
+	body := site.decl.Body
+	start := prog.Fset.Position(body.Pos())
+	end := prog.Fset.Position(body.End())
+	file := start.Filename
+	if abs, err := filepath.Abs(file); err == nil {
+		file = abs
+	}
+	diags := escByFile[file]
+	if len(diags) == 0 {
+		return
+	}
+	tf := prog.Fset.File(body.Pos())
+	for _, e := range diags {
+		if e.Line < start.Line || e.Line > end.Line {
+			continue
+		}
+		exempt := false
+		for _, pr := range facts.pruned {
+			if e.Line >= prog.Fset.Position(pr.start).Line && e.Line <= prog.Fset.Position(pr.end).Line {
+				exempt = true
+				break
+			}
+		}
+		if exempt {
+			continue
+		}
+		key := fmt.Sprintf("esc|%s|%d|%s", e.File, e.Line, e.Msg)
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		pos := body.Pos()
+		if tf != nil && e.Line <= tf.LineCount() {
+			pos = tf.LineStart(e.Line)
+		}
+		where := fmt.Sprintf("in hot function %s", rootName)
+		if chain != "" {
+			where = fmt.Sprintf("reachable from hot function %s via %s", rootName, chain)
+		}
+		report(pos, "compiler escape analysis: %s (%s, annotated no alloc)", e.Msg, where)
+	}
+}

@@ -46,7 +46,10 @@ type Analyzer struct {
 
 // Analyzers is the full production set, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockCheck, Determinism, Layering, WireSafe, ErrDrop, ObsCheck}
+	return []*Analyzer{
+		LockCheck, LockOrder, HotPath, AtomicPub,
+		Determinism, Layering, WireSafe, ErrDrop, ObsCheck,
+	}
 }
 
 // ignoreDirective is one parsed //lint:ignore comment.
@@ -63,11 +66,28 @@ type ignoreKey struct {
 	line int
 }
 
+// knownRuleNames is the set of rule names a directive may legally name:
+// the production analyzers, whatever extra analyzers this run carries, and
+// the "lint" pseudo-rule itself.
+func knownRuleNames(analyzers []*Analyzer) map[string]bool {
+	known := map[string]bool{"lint": true}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	return known
+}
+
 // collectIgnores parses every //lint:ignore directive in the program.
 // A directive covers its own line and the line after it, so it works both
-// as a trailing comment and as a comment line above the finding. Malformed
-// directives are reported immediately under the pseudo-rule "lint".
-func collectIgnores(prog *Program, report func(Diagnostic)) map[ignoreKey][]*ignoreDirective {
+// as a trailing comment and as a comment line above the finding. Matching
+// is analyzer-exact: a directive only ever suppresses findings of the rule
+// it names, and naming an unknown analyzer is itself a finding (so a typo
+// cannot silently consume anything). Malformed directives are reported
+// immediately under the pseudo-rule "lint".
+func collectIgnores(prog *Program, known map[string]bool, report func(Diagnostic)) map[ignoreKey][]*ignoreDirective {
 	out := make(map[ignoreKey][]*ignoreDirective)
 	for _, pkg := range prog.Pkgs {
 		for _, f := range pkg.Files {
@@ -82,6 +102,11 @@ func collectIgnores(prog *Program, report func(Diagnostic)) map[ignoreKey][]*ign
 					if len(fields) < 2 {
 						report(Diagnostic{Pos: pos, Rule: "lint",
 							Message: "malformed directive: want //lint:ignore <rule> <reason>"})
+						continue
+					}
+					if !known[fields[0]] {
+						report(Diagnostic{Pos: pos, Rule: "lint",
+							Message: fmt.Sprintf("//lint:ignore names unknown analyzer %q", fields[0])})
 						continue
 					}
 					d := &ignoreDirective{pos: pos, rule: fields[0], reason: strings.Join(fields[1:], " ")}
@@ -100,8 +125,16 @@ func collectIgnores(prog *Program, report func(Diagnostic)) map[ignoreKey][]*ign
 // diagnostics sorted by position. Ignored findings are dropped; unused or
 // malformed ignore directives are themselves reported.
 func Run(prog *Program, rules *Rules, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunReport(prog, rules, analyzers)
+	return diags
+}
+
+// RunReport is Run plus a machine-readable report of everything that
+// happened: every finding (including the suppressed ones, marked as such)
+// and every ignore directive with its usage status.
+func RunReport(prog *Program, rules *Rules, analyzers []*Analyzer) ([]Diagnostic, *Report) {
 	var diags []Diagnostic
-	ignores := collectIgnores(prog, func(d Diagnostic) { diags = append(diags, d) })
+	ignores := collectIgnores(prog, knownRuleNames(analyzers), func(d Diagnostic) { diags = append(diags, d) })
 	for _, a := range analyzers {
 		name := a.Name
 		report := func(pos token.Pos, format string, args ...any) {
@@ -113,18 +146,24 @@ func Run(prog *Program, rules *Rules, analyzers []*Analyzer) []Diagnostic {
 		}
 		a.Run(prog, rules, report)
 	}
+	rep := &Report{Packages: len(prog.Pkgs)}
+	for _, a := range analyzers {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
 	kept := diags[:0]
 	for _, d := range diags {
-		suppressed := false
+		f := Finding{Analyzer: d.Rule, File: d.Pos.Filename, Line: d.Pos.Line, Message: d.Message}
 		if d.Rule != "lint" {
 			for _, ig := range ignores[ignoreKey{d.Pos.Filename, d.Pos.Line}] {
 				if ig.rule == d.Rule {
 					ig.used = true
-					suppressed = true
+					f.Suppressed = true
+					f.IgnoreReason = ig.reason
 				}
 			}
 		}
-		if !suppressed {
+		rep.Findings = append(rep.Findings, f)
+		if !f.Suppressed {
 			kept = append(kept, d)
 		}
 	}
@@ -132,12 +171,31 @@ func Run(prog *Program, rules *Rules, analyzers []*Analyzer) []Diagnostic {
 	seen := make(map[*ignoreDirective]bool)
 	for _, list := range ignores {
 		for _, ig := range list {
-			if seen[ig] || ig.used {
+			if seen[ig] {
 				continue
 			}
 			seen[ig] = true
-			diags = append(diags, Diagnostic{Pos: ig.pos, Rule: "lint",
-				Message: fmt.Sprintf("unused //lint:ignore %s directive", ig.rule)})
+			rep.Ignores = append(rep.Ignores, IgnoreInfo{
+				File: ig.pos.Filename, Line: ig.pos.Line,
+				Analyzer: ig.rule, Reason: ig.reason, Used: ig.used,
+			})
+			if ig.used {
+				continue
+			}
+			// Without compiler escape data, hotpath directives that exist to
+			// suppress escape-analysis findings (reported at inlined call
+			// sites) cannot be told apart from stale ones; the staleness
+			// check for them runs only under -escape, which the make
+			// lint/verify gate always passes.
+			if ig.rule == HotPath.Name && len(rules.Escapes) == 0 {
+				continue
+			}
+			d := Diagnostic{Pos: ig.pos, Rule: "lint",
+				Message: fmt.Sprintf("unused //lint:ignore %s directive", ig.rule)}
+			diags = append(diags, d)
+			rep.Findings = append(rep.Findings, Finding{
+				Analyzer: "lint", File: d.Pos.Filename, Line: d.Pos.Line, Message: d.Message,
+			})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -153,7 +211,8 @@ func Run(prog *Program, rules *Rules, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return diags
+	rep.sort()
+	return diags, rep
 }
 
 // matchPkg reports whether path matches any entry: exact, or prefix when

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer result in the machine-readable report. Unlike a
+// Diagnostic, suppressed findings are included, with the ignore directive's
+// reason attached — so the JSON output is an audit trail of every escape
+// hatch in use, not just the failures.
+type Finding struct {
+	Analyzer     string `json:"analyzer"`
+	File         string `json:"file"`
+	Line         int    `json:"line"`
+	Message      string `json:"message"`
+	Suppressed   bool   `json:"suppressed,omitempty"`
+	IgnoreReason string `json:"ignoreReason,omitempty"`
+}
+
+// IgnoreInfo is one //lint:ignore directive with its usage status.
+type IgnoreInfo struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+	Used     bool   `json:"used"`
+}
+
+// Report is the stable schema softcell-lint -json emits
+// (results/lint.json).
+type Report struct {
+	Module    string       `json:"module"`
+	Packages  int          `json:"packages"`
+	Analyzers []string     `json:"analyzers"`
+	Findings  []Finding    `json:"findings"`
+	Ignores   []IgnoreInfo `json:"ignores"`
+}
+
+// sort orders the report deterministically.
+func (r *Report) sort() {
+	sort.Slice(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	sort.Slice(r.Ignores, func(i, j int) bool {
+		a, b := r.Ignores[i], r.Ignores[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+}
+
+// Relativize rewrites file paths relative to root, when they are under it.
+func (r *Report) Relativize(root string) {
+	rel := func(p string) string {
+		if out, err := filepath.Rel(root, p); err == nil && !filepath.IsAbs(out) &&
+			out != ".." && !strings.HasPrefix(out, ".."+string(filepath.Separator)) {
+			return filepath.ToSlash(out)
+		}
+		return p
+	}
+	for i := range r.Findings {
+		r.Findings[i].File = rel(r.Findings[i].File)
+	}
+	for i := range r.Ignores {
+		r.Ignores[i].File = rel(r.Ignores[i].File)
+	}
+}
+
+// JSON renders the report with stable formatting (trailing newline).
+func (r *Report) JSON() ([]byte, error) {
+	if r.Findings == nil {
+		r.Findings = []Finding{}
+	}
+	if r.Ignores == nil {
+		r.Ignores = []IgnoreInfo{}
+	}
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -44,6 +44,11 @@ type Rules struct {
 	ErrAllowNames     []string
 	ErrAllowFuncs     []string
 	ErrAllowRecvTypes []string
+
+	// Escapes are compiler escape-analysis diagnostics (ParseEscapes over
+	// `go build -gcflags=-m` output). When present, hotpath cross-checks
+	// them against every function reachable from a no-alloc root.
+	Escapes []EscapeDiag
 }
 
 // ConstructRule says only Allowed packages (entries ending in "/" are
@@ -60,6 +65,7 @@ func DefaultRules() *Rules {
 			"repro/internal/agent",
 			"repro/internal/chaos",
 			"repro/internal/core",
+			"repro/internal/ctrlproto",
 			"repro/internal/fastpath",
 			"repro/internal/obs",
 			"repro/internal/shard",

@@ -1,0 +1,30 @@
+// Package exact pins analyzer-exact ignore matching: a directive only
+// ever suppresses findings of the analyzer it names, even when several
+// analyzers report on the same line, and naming an unknown analyzer is
+// itself a finding rather than a silent no-op.
+package exact
+
+import "time"
+
+func helper(t time.Time) error { return nil }
+
+// Mixed produces errdrop and determinism findings on one line; the
+// directive suppresses only the errdrop one.
+func Mixed() {
+	//lint:ignore errdrop exactness regression: only errdrop is suppressed
+	_ = helper(time.Now()) // want `\[determinism\] time\.Now`
+}
+
+// Cross carries a directive naming a different analyzer than the finding
+// on its line: nothing is consumed and the directive is unused.
+func Cross() {
+	//lint:ignore determinism names the wrong analyzer on purpose // want `unused //lint:ignore determinism directive`
+	_ = helper(time.Unix(0, 0)) // want `\[errdrop\] helper returns an error`
+}
+
+// Typo names an analyzer that does not exist: the directive is rejected
+// outright and cannot consume the finding below it.
+func Typo() {
+	//lint:ignore errdorp a typo must not consume anything // want `names unknown analyzer "errdorp"`
+	_ = helper(time.Unix(0, 0)) // want `\[errdrop\] helper returns an error`
+}

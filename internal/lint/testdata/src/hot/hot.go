@@ -1,0 +1,130 @@
+// Package hot exercises the hotpath analyzer: constraint violations in
+// annotated roots, cross-function reachability, cold boundaries, the
+// panic exemption, and the ignore escape hatch.
+package hot
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// S carries the state the hot functions touch.
+type S struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// Fast violates the no-alloc and no-lock constraints in one body.
+//
+// hotpath: no alloc, no lock
+func (s *S) Fast(n int) int {
+	buf := make([]int, n)        // want `\[hotpath\] make allocates in hot function S.Fast`
+	p := new(S)                  // want `new allocates`
+	q := &S{}                    // want `&composite literal allocates`
+	lit := []int{1, 2}           // want `slice literal allocates`
+	f := func() int { return 1 } // want `func literal allocates a closure`
+	fmt.Println(n)               // want `fmt\.Println formats and allocates`
+	s.mu.Lock()                  // want `acquires sync\.Mutex \(Lock\)`
+	s.mu.Unlock()
+	s.ch <- 1   // want `channel send blocks`
+	v := <-s.ch // want `channel receive blocks`
+	go helper() // want `go statement hands off to the scheduler`
+	return buf[0] + p.n + q.n + lit[0] + f() + v
+}
+
+func helper() {}
+
+// Box passes a concrete value to an interface parameter.
+//
+// hotpath: no alloc
+func Box(v int) {
+	sink(v) // want `argument boxed into interface allocates`
+}
+
+func sink(x interface{}) { _ = x }
+
+// Label concatenates at runtime.
+//
+// hotpath: no alloc
+func Label(s string) string {
+	return "id-" + s // want `string concatenation allocates`
+}
+
+// Bind returns a bound method value, which captures its receiver.
+//
+// hotpath: no alloc
+func (s *S) Bind() func() int {
+	return s.fetch // want `bound method value allocates a closure`
+}
+
+func (s *S) fetch() int { return s.n }
+
+// Outer reaches an allocation two calls down; the finding names the chain.
+//
+// hotpath: no alloc
+func Outer() int { return mid() }
+
+func mid() int { return leaf() }
+
+func leaf() int {
+	b := make([]int, 4) // want `make allocates reachable from hot function Outer via mid -> leaf`
+	return b[0]
+}
+
+// Guard panics with a formatted message: panic arguments are exempt, so
+// this stays silent even though the concatenation allocates.
+//
+// hotpath: no alloc
+func Guard(ok bool) {
+	if !ok {
+		panic("hot: invariant broken: " + name())
+	}
+}
+
+func name() string { return "guard" }
+
+// Cached delegates its miss path to an audited cold helper; the walk stops
+// at the boundary.
+//
+// hotpath: no alloc
+func Cached() int {
+	return slowFill()
+}
+
+// slowFill is the audited slow path: allocations here are deliberate.
+//
+// hotpath: cold
+func slowFill() int {
+	b := make([]int, 8)
+	return b[0]
+}
+
+// Direct is annotated no io and reads a file.
+//
+// hotpath: no io
+func Direct(f *os.File, b []byte) int {
+	n, _ := f.Read(b) // want `os\.Read performs I/O`
+	return n
+}
+
+// Grow acknowledges an amortised growth reallocation with a directive.
+//
+// hotpath: no alloc
+func Grow(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n) //lint:ignore hotpath amortised growth, reused across bursts
+	}
+	return buf[:n]
+}
+
+// BadItem has an unknown constraint.
+//
+// hotpath: no gc
+func BadItem() {} // want `bad hotpath annotation: unknown constraint "no gc"`
+
+// BadCold combines cold with a constraint.
+//
+// hotpath: cold, no alloc
+func BadCold() {} // want `cold cannot be combined`

@@ -1,0 +1,23 @@
+// Package hotesc backs the escape-analysis cross-check test: the test
+// fabricates compiler diagnostics on the MARK lines and asserts only the
+// one inside a hot, non-panic span is reported.
+package hotesc
+
+// Warm is hot; a fabricated escape diagnostic on its MARK line must fire.
+//
+// hotpath: no alloc
+func Warm(p *int) int {
+	return *p // MARK:warm
+}
+
+// Crash panics: a fabricated escape inside the panic call is exempt.
+//
+// hotpath: no alloc
+func Crash(msg string) {
+	panic("hotesc: " + msg) // MARK:crash
+}
+
+// Cool is not annotated; escapes here are nobody's business.
+func Cool() []int {
+	return make([]int, 3) // MARK:cool
+}

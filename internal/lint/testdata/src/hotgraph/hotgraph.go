@@ -1,0 +1,33 @@
+// Package hotgraph provides the call-graph shapes the builder tests pin:
+// recursive edges and method-value edges, the two most likely to be
+// silently dropped.
+package hotgraph
+
+// Rec recurses before allocating.
+func Rec(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	_ = Rec(n - 1)
+	return make([]int, n)
+}
+
+// Box carries a method used as a value.
+type Box struct{ n int }
+
+// Grow allocates.
+func (b *Box) Grow() []int { return make([]int, b.n) }
+
+// TakeValue binds Grow without calling it: the edge must still exist.
+func TakeValue(b *Box) func() []int {
+	g := b.Grow
+	return g
+}
+
+// CallsHelper references a package function as a value (no closure, but
+// still an edge).
+func CallsHelper() func() {
+	return helper
+}
+
+func helper() {}

@@ -109,6 +109,8 @@ func (r *Registry) Sub(prefix string) *Registry {
 type Counter struct{ v atomic.Uint64 }
 
 // Inc adds one.
+//
+// hotpath: no alloc, no lock
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -116,6 +118,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+// hotpath: no alloc, no lock
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v.Add(n)
@@ -134,6 +138,8 @@ func (c *Counter) Value() uint64 {
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores an absolute level.
+//
+// hotpath: no alloc, no lock
 func (g *Gauge) Set(n int64) {
 	if g != nil {
 		g.v.Store(n)
@@ -141,6 +147,8 @@ func (g *Gauge) Set(n int64) {
 }
 
 // Add moves the level by delta (negative to decrement).
+//
+// hotpath: no alloc, no lock
 func (g *Gauge) Add(delta int64) {
 	if g != nil {
 		g.v.Add(delta)
@@ -166,6 +174,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+// hotpath: no alloc, no lock
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return

@@ -37,7 +37,11 @@ func (e *EventType) Name() string {
 // (missing trailing args read as absent in the dump). Extra args panic:
 // that is a programming error at the call site. Emit copies args into a
 // fixed-size slot — no allocation — and timestamps the event with the
-// registry's injected clock.
+// registry's injected clock. Emission takes the tracer mutex, so trace
+// points belong on slow paths only: the annotation is deliberately just
+// "no alloc".
+//
+// hotpath: no alloc
 func (e *EventType) Emit(args ...int64) {
 	if e == nil {
 		return

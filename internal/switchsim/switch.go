@@ -186,7 +186,7 @@ func (s *Switch) View() TableView {
 		micro[k] = r
 	}
 	return TableView{
-		Gen:     s.gen,
+		Gen:     s.Generation(),
 		Micro:   micro,
 		Ordered: append([]*Rule(nil), s.ordered...),
 		Miss:    s.TableMiss,
