@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint fuzz verify bench bench-shards bench-dataplane profile clean chaos cover
+.PHONY: all build test race vet lint fuzz verify bench bench-shards bench-dataplane bench-city city-smoke profile clean chaos cover
 
 all: verify
 
@@ -58,13 +58,24 @@ cover:
 		fi; \
 	done
 
-# verify is the gate every change must pass.
+# verify is the gate every change must pass. The city smoke at the end is
+# the scaled-down §6.1 soak (48 stations, 20k UEs): it exercises the same
+# workload generator, shard fan-out, and memory accounting as bench-city
+# and fails on op errors or invariant violations.
 verify:
 	$(GO) vet ./...
 	$(GO) run ./cmd/softcell-lint -escape -json results/lint.json ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) cover
+	$(MAKE) city-smoke
+
+# city-smoke is bench-city shrunk to CI scale: same code path end to end,
+# seconds instead of minutes. The report lands next to the full soak's so
+# CI can archive it.
+city-smoke:
+	$(GO) run ./cmd/softcell-bench -mode city -stations 48 -ues 20000 -shards 2 \
+		-sim-seconds 30 -legacy-sample 20000 -json results/BENCH_city_smoke.json
 
 # bench regenerates the committed controller sweep (§6.2): human-readable
 # table on stdout, machine-readable results/BENCH_controller.json on disk.
@@ -83,6 +94,14 @@ bench-shards:
 bench-dataplane:
 	$(GO) run ./cmd/softcell-bench -mode dataplane -duration 1s \
 		-json results/BENCH_dataplane.json | tee results/bench_dataplane.txt
+
+# bench-city regenerates the committed city-scale soak (§6.1 at full
+# width): 1536 base stations, 1M registered subscribers, a multi-minute
+# sustained arrival/handoff/bearer schedule, and the memory-compaction
+# report (live-heap bytes per UE vs the pre-compaction layout).
+bench-city:
+	$(GO) run ./cmd/softcell-bench -mode city -soak 3m \
+		-json results/BENCH_city.json | tee results/bench_city.txt
 
 # profile captures CPU and heap profiles of the controller hot path via the
 # Go benchmarks (DESIGN.md §10). Inspect with `go tool pprof results/cpu.pprof`.

@@ -9,6 +9,7 @@
 //	softcell-bench -mode shards            # sharded-dispatcher scaling sweep
 //	softcell-bench -mode chaos             # seeded fault-injection soak
 //	softcell-bench -mode dataplane         # forwarding-plane packets/s sweep
+//	softcell-bench -mode city              # city-scale 1M-UE memory/churn soak
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/cbench"
 	"repro/internal/chaos"
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 )
@@ -43,6 +45,8 @@ type benchReport struct {
 	DurationMS int64        `json:"duration_ms"`
 	GOMAXPROCS int          `json:"gomaxprocs"`
 	Points     []benchPoint `json:"points"`
+	// Mem is the controller's memory accounting after the last sweep point.
+	Mem core.MemStats `json:"mem"`
 	// Obs is the cumulative telemetry snapshot across every sweep point
 	// (one registry spans the sweep; get-or-create registration merges the
 	// points into the same series).
@@ -64,12 +68,13 @@ type dpPoint struct {
 
 // dpReport is the BENCH_dataplane.json schema.
 type dpReport struct {
-	Mode       string       `json:"mode"`
-	Flows      int          `json:"flows"`
-	DurationMS int64        `json:"duration_ms"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Points     []dpPoint    `json:"points"`
-	Obs        obs.Snapshot `json:"obs"`
+	Mode       string        `json:"mode"`
+	Flows      int           `json:"flows"`
+	DurationMS int64         `json:"duration_ms"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Points     []dpPoint     `json:"points"`
+	Mem        core.MemStats `json:"mem"` // testbed controller, last point
+	Obs        obs.Snapshot  `json:"obs"`
 }
 
 // chaosReport is the BENCH_chaos.json schema: the run's configuration,
@@ -83,7 +88,16 @@ type chaosReport struct {
 	Checks       int               `json:"checks"`
 	Releases     int               `json:"releases"`
 	Faults       chaos.FaultCounts `json:"faults"`
+	Mem          core.MemStats     `json:"mem"` // fleet accounting at quiescence
 	Obs          obs.Snapshot      `json:"obs"`
+}
+
+// cityReport is the BENCH_city.json schema: the soak result plus the host
+// shape and the telemetry snapshot.
+type cityReport struct {
+	cbench.CityResult
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Obs        obs.Snapshot `json:"obs"`
 }
 
 // writeJSON renders v indented and writes it to path.
@@ -102,7 +116,7 @@ func writeJSON(path string, v any) {
 
 func main() {
 	var (
-		mode     = flag.String("mode", "controller", "controller | agent | shards | chaos | dataplane")
+		mode     = flag.String("mode", "controller", "controller | agent | shards | chaos | dataplane | city")
 		flows    = flag.Int("flows", 64, "dataplane: warmed flows the generators cycle through")
 		reps     = flag.Int("reps", 2, "dataplane: measurements per point (best is reported)")
 		agents   = flag.Int("agents", 16, "emulated agent connections")
@@ -112,10 +126,15 @@ func main() {
 		out      = flag.String("out", "", "with -mode shards: also write the sweep table to this file")
 		jsonOut  = flag.String("json", "", "with -mode controller or chaos: write the report as JSON to this file")
 
-		seed     = flag.Int64("seed", 1, "chaos: schedule seed")
+		seed     = flag.Int64("seed", 1, "chaos, city: schedule/workload seed")
 		events   = flag.Int("events", 2000, "chaos: schedule length in events")
-		shards   = flag.Int("shards", 3, "chaos: control-plane shards")
-		ues      = flag.Int("ues", 16, "chaos: subscriber population")
+		shards   = flag.Int("shards", 3, "chaos, city: control-plane shards (city default 4)")
+		ues      = flag.Int("ues", 16, "chaos, city: subscriber population (city default 1000000)")
+
+		stations = flag.Int("stations", 1536, "city: base stations (must be C·K³/4; 48 for the smoke point)")
+		simSecs  = flag.Int("sim-seconds", 300, "city: minimum simulated workload seconds to soak")
+		soakWall = flag.Duration("soak", 0, "city: keep soaking until this much wall clock has elapsed")
+		legacyN  = flag.Int("legacy-sample", 100000, "city: UEs for the pre-compaction baseline emulation (negative skips)")
 		cluster  = flag.Int("cluster", 4, "chaos: base stations per pod cluster")
 		wireRate = flag.Float64("wire-fault-rate", 0.25, "chaos: per-frame fault probability (negative disables)")
 		mixWork  = flag.Int("mix-workload", 0, "chaos: workload weight (0 = default)")
@@ -127,6 +146,10 @@ func main() {
 		traceOut = flag.String("trace", "", "chaos: write the deterministic event trace to this file")
 	)
 	flag.Parse()
+	// The chaos-calibrated -shards/-ues defaults are far too small for a
+	// city soak; only explicit values override the city defaults.
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
 	switch *mode {
 	case "controller":
@@ -153,6 +176,7 @@ func main() {
 				Workers: workers, Requests: res.Requests,
 				RequestsPerSec: res.PerSecond(), AllocsPerOp: res.AllocsPerOp,
 			})
+			report.Mem = res.Mem
 		}
 		fmt.Print(tab)
 		if *jsonOut != "" {
@@ -249,6 +273,7 @@ which regime this file was produced in.
 				pt.SpeedupVsSingle = pt.PacketsPerSec / report.Points[0].PacketsPerSec
 			}
 			report.Points = append(report.Points, pt)
+			report.Mem = res.Mem
 			vs := ""
 			if pt.SpeedupVsSingle > 0 {
 				vs = fmt.Sprintf("%.2fx", pt.SpeedupVsSingle)
@@ -330,12 +355,65 @@ which regime this file was produced in.
 			rep := chaosReport{
 				Seed: *seed, Events: res.Events, Ops: res.Ops,
 				OpErrors: res.OpErrors, Checks: res.Checks, Releases: res.Releases,
-				Faults: res.Faults, Obs: reg.Snapshot(),
+				Faults: res.Faults, Mem: res.Mem, Obs: reg.Snapshot(),
 			}
 			if wall > 0 {
 				rep.EventsPerSec = float64(res.Events) / wall.Seconds()
 			}
 			writeJSON(*jsonOut, rep)
+		}
+	case "city":
+		opts := cbench.CityOptions{
+			Stations:     *stations,
+			SimSeconds:   *simSecs,
+			MinWall:      *soakWall,
+			Seed:         *seed,
+			LegacySample: *legacyN,
+		}
+		if setFlags["shards"] {
+			opts.Shards = *shards
+		}
+		if setFlags["ues"] {
+			opts.UEs = *ues
+		}
+		if err := cbench.ValidateCity(opts); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		reg := obs.New()
+		reg.SetClock(func() int64 { return time.Now().UnixNano() })
+		opts.Obs = reg
+		fmt.Printf("city soak: stations=%d sim-seconds>=%d soak>=%v GOMAXPROCS=%d\n",
+			opts.Stations, opts.SimSeconds, *soakWall, runtime.GOMAXPROCS(0))
+		res, err := cbench.BenchCity(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		tab := metrics.NewTable("quantity", "value")
+		tab.AddRow("subscribers registered", res.Registered)
+		tab.AddRow("initially attached", res.InitialAttach)
+		tab.AddRow("load phase", fmt.Sprintf("%.1fs (%.0f ops/s)", float64(res.LoadWallMS)/1000, res.LoadOpsPerSec))
+		tab.AddRow("soak", fmt.Sprintf("%d sim-seconds in %.1fs wall", res.SimSeconds, float64(res.SoakWallMS)/1000))
+		tab.AddRow("ops/s sustained", fmt.Sprintf("%.0f", res.OpsPerSec))
+		tab.AddRow("arrivals/s", fmt.Sprintf("%.0f (paper 99.999-pct: 214)", res.ArrivalsPerSec))
+		tab.AddRow("handoffs/s", fmt.Sprintf("%.0f (paper 99.999-pct: 280)", res.HandoffsPerSec))
+		tab.AddRow("handoff p99", fmt.Sprintf("%.0fµs", res.HandoffP99NS/1000))
+		tab.AddRow("rule table max/median", fmt.Sprintf("%d / %d", res.RuleTableMax, res.RuleTableMedian))
+		tab.AddRow("live heap (fleet)", fmt.Sprintf("%.1f MB (%.1f B/subscriber)", float64(res.LiveHeapBytes)/1e6, res.BytesPerUE))
+		if res.LegacyBytesPerUE > 0 {
+			tab.AddRow("pre-compaction fleet", fmt.Sprintf("%.1f B/subscriber (%d shards × %.1f)",
+				res.LegacyFleetPerUE, res.Shards, res.LegacyBytesPerUE))
+			tab.AddRow("compaction ratio", fmt.Sprintf("%.2fx smaller", res.CompactionRatio))
+		}
+		tab.AddRow("attr intern hit rate", fmt.Sprintf("%.4f (%d sets live)", res.Mem.AttrHitRate(), res.Mem.InternedAttrs))
+		tab.AddRow("GC", fmt.Sprintf("%d cycles, %.1fms total pause, %.2fms max", res.GCCount, res.GCPauseTotalMS, res.GCPauseMaxMS))
+		fmt.Print(tab)
+		fmt.Printf("\n%d op errors; post-soak cross-shard invariants held\n", res.OpErrors)
+		if *jsonOut != "" {
+			writeJSON(*jsonOut, cityReport{
+				CityResult: res, GOMAXPROCS: runtime.GOMAXPROCS(0), Obs: reg.Snapshot(),
+			})
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)

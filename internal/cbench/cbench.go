@@ -77,6 +77,10 @@ type Result struct {
 	// Speedup is throughput relative to the single-controller baseline
 	// measured in the same sweep (0 when no baseline was taken).
 	Speedup float64
+
+	// Mem is the controller's (or, sharded, the aggregated fleet's)
+	// end-of-run memory accounting; every BENCH_*.json embeds it.
+	Mem core.MemStats
 }
 
 // PerSecond is the headline number.
@@ -214,7 +218,7 @@ func BenchController(opts ControllerOptions) (Result, error) {
 	elapsed := time.Since(start)
 	var m1 runtime.MemStats
 	runtime.ReadMemStats(&m1)
-	res := Result{Requests: total, Elapsed: elapsed}
+	res := Result{Requests: total, Elapsed: elapsed, Mem: tb.ctrl.MemStats()}
 	if total > 0 {
 		res.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(total)
 	}

@@ -1,0 +1,617 @@
+// City-scale soak benchmark (DESIGN.md §14): the §6.1 workload generator
+// drives a sharded control plane sized like the paper's measured network —
+// ~1500 base stations and a ~1M-subscriber population — for minutes of
+// sustained arrival/handoff/bearer churn, and the report answers the
+// memory-compaction question directly: live-heap bytes per subscriber under
+// the struct-of-arrays layout, next to an emulation of the pre-compaction
+// pointer-and-maps layout measured in the same process.
+package cbench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/shard"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// CityOptions configure the city soak.
+type CityOptions struct {
+	// Stations is the base-station count; it must be expressible as
+	// C·K³/4 for the topology generator (default 1536 = K=8, C=12 — the
+	// closest generator point to the paper's ≈1500).
+	Stations int
+	// Shards is the control-plane partition width (default 4).
+	Shards int
+	// UEs is the subscriber population (default 1,000,000). The attached
+	// population at any instant follows the workload model (§6.1: ~220K at
+	// the evening peak); the rest are registered subscribers between
+	// sessions.
+	UEs int
+	// SimSeconds is the minimum number of simulated workload seconds to
+	// soak (default 300).
+	SimSeconds int
+	// MinWall keeps the soak looping (whole simulated seconds) until this
+	// much wall clock has elapsed, whichever of SimSeconds/MinWall is
+	// longer (default 0 — SimSeconds alone bounds the run).
+	MinWall time.Duration
+	// StartSecond is the diurnal clock offset (default 19h — the evening
+	// peak, so short soaks see the high quantiles).
+	StartSecond int
+	Seed        int64
+	// ReleaseAfter delays each handoff's old-LocIP release by this many
+	// simulated seconds (default 2), modelling the §5.1 soft timeout.
+	ReleaseAfter int
+	// LegacySample is the UE count used to measure the pre-compaction
+	// layout emulation (default 100,000, capped at UEs). 0 keeps the
+	// default; negative skips the baseline measurement.
+	LegacySample int
+	// Obs instruments the stack under test; the final MemStats snapshot
+	// also refreshes each shard's core.mem.* gauges.
+	Obs *obs.Registry
+}
+
+func (o CityOptions) withDefaults() CityOptions {
+	if o.Stations <= 0 {
+		o.Stations = 1536
+	}
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.UEs <= 0 {
+		o.UEs = 1_000_000
+	}
+	if o.SimSeconds <= 0 {
+		o.SimSeconds = 300
+	}
+	if o.StartSecond == 0 {
+		o.StartSecond = 19 * 3600
+	}
+	if o.ReleaseAfter <= 0 {
+		o.ReleaseAfter = 2
+	}
+	if o.LegacySample == 0 {
+		o.LegacySample = 100_000
+	}
+	if o.LegacySample > o.UEs {
+		o.LegacySample = o.UEs
+	}
+	return o
+}
+
+// workloadParams scales the paper's network-wide rates (calibrated for
+// ~1500 stations / ~1M subscribers) to the configured population, so a
+// scaled-down smoke run keeps the same per-station intensity.
+func (o CityOptions) workloadParams() workload.Params {
+	scale := float64(o.Stations) / 1500
+	return workload.Params{
+		Stations:           o.Stations,
+		StartSecond:        o.StartSecond,
+		Seed:               o.Seed,
+		PeakArrivalsPerSec: 206 * scale,
+		PeakHandoffsPerSec: 275 * scale,
+	}
+}
+
+// cityStoreReplicas pins each shard's §5.2 store replication (primary plus
+// this many replicas) so the legacy-baseline emulation models the same
+// durability — its documents are charged once per store member.
+const cityStoreReplicas = 2
+
+// cityPlan is the address/tag layout the city runs: the default carrier
+// block and 12/12 BS/UE split, with the tag field widened to the full 12
+// bits so the per-shard residue classes stay comfortable at any width.
+func cityPlan() packet.Plan {
+	pl := packet.DefaultPlan
+	pl.TagBits = 12
+	return pl
+}
+
+// cityTopoParams maps a station count onto generator parameters: the
+// largest K in {8, 4, 2} whose K³/4 divides the count. 1536 → K=8 C=12;
+// the smoke point 48 → K=4 C=3.
+func cityTopoParams(stations int) (topo.GenParams, error) {
+	for _, k := range []int{8, 4, 2} {
+		rings := k * k / 2 * k / 2
+		if stations >= rings && stations%rings == 0 {
+			return topo.GenParams{K: k, ClusterSize: stations / rings, MBTypes: 3, Seed: 1}, nil
+		}
+	}
+	return topo.GenParams{}, fmt.Errorf(
+		"cbench: %d stations is not C·K³/4 for K in {8,4,2}; try 1536 (city) or 48 (smoke)", stations)
+}
+
+// ValidateCity checks, before anything is built, that the configured
+// shard count and population fit the address plan's sub-spaces — turning
+// what would be a mid-soak allocator failure into an immediate, explicit
+// error naming the flag to change.
+func ValidateCity(o CityOptions) error {
+	o = o.withDefaults()
+	pl := cityPlan()
+	if _, err := cityTopoParams(o.Stations); err != nil {
+		return err
+	}
+
+	// Per-shard tag sub-space: shard i allocates tags ≡ i (mod Shards), so
+	// its capacity is the size of that residue class within [1, MaxTag].
+	// Every allow clause needs at least one tag per shard, and route-shape
+	// diversity (distinct middlebox chains per clause) multiplies that, so
+	// demand 8× headroom.
+	clauses := 0
+	pol := policy.ExampleCarrierPolicy()
+	for id := 0; id < pol.Len(); id++ {
+		if cl, ok := pol.Clause(id); ok && cl.Action.Allow {
+			clauses++
+		}
+	}
+	tagCap := int(pl.MaxTag()) / o.Shards
+	if need := clauses * 8; tagCap < need {
+		return fmt.Errorf(
+			"cbench: -shards %d leaves each shard %d policy tags of the plan's %d (residue class, stride %d), below the %d (= %d allow clauses × 8 headroom) the soak needs; lower -shards",
+			o.Shards, tagCap, pl.MaxTag(), o.Shards, need, clauses)
+	}
+
+	// Per-station UE-ID sub-space: the workload's attached population
+	// concentrates on popular stations; demand 4× the mean concurrent
+	// per-station load (Fig. 6(b)'s tail is ≈3× the typical station).
+	wp := o.workloadParams()
+	concurrent := int(wp.PeakArrivalsPerSec * wp.MeanSessionSeconds)
+	if concurrent > o.UEs {
+		concurrent = o.UEs
+	}
+	ueCap := 1<<pl.UEBits - 1
+	if need := 4 * (concurrent/o.Stations + 1); ueCap < need {
+		return fmt.Errorf(
+			"cbench: -ues %d across %d stations peaks near %d attached per popular station, but the plan encodes only %d UE IDs per station; lower -ues or raise -stations",
+			o.UEs, o.Stations, need, ueCap)
+	}
+
+	// Per-shard permanent-IP sub-pool: permanent addresses are carved into
+	// disjoint per-shard blocks and allocated on first attach; demand 2×
+	// the mean per-shard share to absorb placement skew.
+	permBits := 0
+	for 1<<permBits < o.Shards {
+		permBits++
+	}
+	permCap := 1 << (32 - 10 - permBits) // 100.64.0.0/10 pool
+	if need := 2 * (o.UEs/o.Shards + 1); permCap < need {
+		return fmt.Errorf(
+			"cbench: -ues %d over %d shards needs ~%d permanent IPs per shard, but each shard's slice of 100.64.0.0/10 holds %d; lower -ues or -shards",
+			o.UEs, o.Shards, need, permCap)
+	}
+	return nil
+}
+
+// CityResult is the BENCH_city.json payload.
+type CityResult struct {
+	// Configuration.
+	Stations   int   `json:"stations"`
+	Shards     int   `json:"shards"`
+	UEs        int   `json:"ues"`
+	Seed       int64 `json:"seed"`
+	SimSeconds int   `json:"sim_seconds"` // simulated seconds actually soaked
+
+	// Load phase: registering the population and attaching the initial
+	// steady-state population.
+	Registered    int     `json:"registered"`
+	InitialAttach int     `json:"initial_attached"`
+	LoadWallMS    int64   `json:"load_wall_ms"`
+	LoadOpsPerSec float64 `json:"load_ops_per_sec"`
+
+	// Soak phase: sustained churn, measured in wall time.
+	SoakWallMS    int64   `json:"soak_wall_ms"`
+	Arrivals      uint64  `json:"arrivals"`
+	Handoffs      uint64  `json:"handoffs"`
+	Departures    uint64  `json:"departures"`
+	Bearers       uint64  `json:"bearers"`
+	Releases      uint64  `json:"releases"`
+	OpErrors      uint64  `json:"op_errors"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	ArrivalsPerSec float64 `json:"arrivals_per_sec"`
+	HandoffsPerSec float64 `json:"handoffs_per_sec"`
+
+	// Handoff completion latency over the soak (nanoseconds).
+	HandoffP50NS float64 `json:"handoff_p50_ns"`
+	HandoffP99NS float64 `json:"handoff_p99_ns"`
+	HandoffMaxNS float64 `json:"handoff_max_ns"`
+
+	// Rule-table occupancy at the end of the soak (hardware switches).
+	RuleTableMax    int `json:"rule_table_max"`
+	RuleTableMedian int `json:"rule_table_median"`
+	RuleTableTotal  int `json:"rule_table_total"`
+
+	// Memory: GC-settled live-heap growth across the load phase, divided
+	// by the registered population, next to the measured pre-compaction
+	// baseline emulation. AttachedBytesPerUE charges the whole delta to
+	// the concurrently-attached population instead (the paper's ~220K).
+	//
+	// The comparison is fleet-to-fleet: BytesPerUE covers all Shards
+	// controllers (each holds the full subscriber base — registrations
+	// broadcast by dispatcher design — plus its replicated store), so the
+	// baseline is the per-shard legacy emulation (one controller's maps,
+	// heap records, and per-replica store documents) times Shards.
+	LiveHeapBytes      uint64  `json:"live_heap_bytes"`
+	BytesPerUE         float64 `json:"bytes_per_ue"`
+	AttachedBytesPerUE float64 `json:"bytes_per_attached_ue"`
+	LegacySample       int     `json:"legacy_sample"`
+	LegacyBytesPerUE   float64 `json:"legacy_bytes_per_ue"`       // one pre-compaction controller + its store copies
+	LegacyFleetPerUE   float64 `json:"legacy_fleet_bytes_per_ue"` // × Shards, the deployment BytesPerUE measures
+	CompactionRatio    float64 `json:"compaction_ratio"`          // legacy fleet ÷ compacted bytes/UE
+
+	// GC behaviour across the soak window.
+	GCCount       uint32  `json:"gc_count"`
+	GCPauseTotalMS float64 `json:"gc_pause_total_ms"`
+	GCPauseMaxMS   float64 `json:"gc_pause_max_ms"`
+
+	// Controller-internal accounting, aggregated across shards.
+	Mem core.MemStats `json:"mem"`
+}
+
+// legacyUE mirrors the pre-compaction per-UE controller state: one heap
+// record per UE holding its attributes inline, indexed by three Go maps,
+// with the replicated store keeping JSON-encoded copies. Building it for a
+// sample population and reading the GC-settled heap delta measures what
+// the struct-of-arrays layout replaced, in this process, on this
+// allocator.
+type legacyUE struct {
+	IMSI   string
+	Attr   policy.Attributes
+	PermIP packet.Addr
+	BS     packet.BSID
+	UEID   packet.UEID
+	LocIP  packet.Addr
+}
+
+// measureLegacyBaseline builds the legacy layout for n UEs and returns its
+// GC-settled bytes per UE; everything it builds is garbage afterwards.
+func measureLegacyBaseline(n, storeCopies int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if storeCopies < 1 {
+		storeCopies = 1
+	}
+	before := liveHeap()
+	byIMSI := make(map[string]*legacyUE, n)
+	byPerm := make(map[packet.Addr]*legacyUE, n)
+	byLoc := make(map[packet.Addr]*legacyUE, n)
+	stores := make([]map[string][]byte, storeCopies)
+	for c := range stores {
+		stores[c] = make(map[string][]byte, n)
+	}
+	for i := 0; i < n; i++ {
+		u := &legacyUE{
+			IMSI:   fmt.Sprintf("imsi-%07d", i),
+			Attr:   cityAttr(i),
+			PermIP: packet.Addr(0x64400000 + uint32(i)),
+			BS:     packet.BSID(i % 1536),
+			UEID:   packet.UEID(i % 4096),
+			LocIP:  packet.Addr(0x0A000000 + uint32(i)),
+		}
+		byIMSI[u.IMSI] = u
+		byPerm[u.PermIP] = u
+		byLoc[u.LocIP] = u
+		// The old store kept encoding/json documents, ~190 bytes of JSON
+		// per record (field names and quoted strings), and its replicas
+		// each applied their own defensive copy of every committed value —
+		// one document per store member, exactly as the pre-compaction
+		// store.Replica.apply did.
+		doc := fmt.Sprintf(
+			`{"imsi":%q,"attr":{"provider":%q,"plan":%q,"device_type":%q,"roaming":%v,"over_cap":%v,"parental":%v},"perm_ip":%q,"bs":%d,"ueid":%d,"loc_ip":%q}`,
+			u.IMSI, u.Attr.Provider, u.Attr.Plan, u.Attr.DeviceType,
+			u.Attr.Roaming, u.Attr.OverCap, u.Attr.Parental,
+			u.PermIP, u.BS, u.UEID, u.LocIP)
+		for c := 0; c < storeCopies; c++ {
+			stores[c]["ue/"+u.IMSI] = []byte(doc)
+		}
+	}
+	perUE := float64(liveHeap()-before) / float64(n)
+	// Keep every structure reachable until after the measurement.
+	runtime.KeepAlive(byIMSI)
+	runtime.KeepAlive(byPerm)
+	runtime.KeepAlive(byLoc)
+	runtime.KeepAlive(stores)
+	return perUE
+}
+
+// liveHeap returns the GC-settled live-heap size.
+func liveHeap() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// cityAttr draws a subscriber's attributes from a small set of profiles —
+// a real carrier's population clusters onto far fewer distinct attribute
+// combinations than it has subscribers, which is what makes the intern
+// pool pay.
+func cityAttr(i int) policy.Attributes {
+	providers := [4]string{"carrier-a", "carrier-b", "mvno-c", "mvno-d"}
+	plans := [3]string{"gold", "silver", "bronze"}
+	devices := [3]string{"phone", "tablet", "m2m"}
+	return policy.Attributes{
+		Provider:   providers[i%4],
+		Plan:       plans[(i/4)%3],
+		DeviceType: devices[(i/12)%3],
+		Roaming:    i%17 == 0,
+	}
+}
+
+// pendingRelease is one handoff's deferred old-LocIP release.
+type pendingRelease struct {
+	due       int // simulated second
+	shard     *shard.Shard
+	oldLoc    packet.Addr
+	shortcuts []*core.Shortcut
+}
+
+// BenchCity runs the city soak.
+func BenchCity(opts CityOptions) (CityResult, error) {
+	opts = opts.withDefaults()
+	if err := ValidateCity(opts); err != nil {
+		return CityResult{}, err
+	}
+	res := CityResult{
+		Stations: opts.Stations, Shards: opts.Shards, UEs: opts.UEs, Seed: opts.Seed,
+		LegacySample: opts.LegacySample,
+	}
+
+	// Measure the pre-compaction layout first, while the heap is small;
+	// it is garbage before the real control plane is built.
+	if opts.LegacySample > 0 {
+		res.LegacyBytesPerUE = measureLegacyBaseline(opts.LegacySample, 1+cityStoreReplicas)
+	} else {
+		res.LegacySample = 0
+	}
+
+	gp, err := cityTopoParams(opts.Stations)
+	if err != nil {
+		return res, err
+	}
+	g, err := topo.Generate(gp)
+	if err != nil {
+		return res, err
+	}
+	pol := policy.ExampleCarrierPolicy()
+	d, err := shard.New(shard.Config{
+		Topology: g.Topology,
+		Gateway:  g.GatewayID,
+		Policy:   pol,
+		MBTypes: map[string]topo.MBType{
+			policy.MBFirewall: 0, policy.MBTranscoder: 1, policy.MBEchoCancel: 2,
+		},
+		Shards:   opts.Shards,
+		Replicas: cityStoreReplicas,
+		Plan:     cityPlan(),
+		Obs:      opts.Obs,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer d.Close()
+	var clauses []int
+	for id := 0; id < pol.Len(); id++ {
+		if cl, ok := pol.Clause(id); ok && cl.Action.Allow {
+			clauses = append(clauses, id)
+		}
+	}
+
+	heapBase := liveHeap()
+	loadStart := time.Now()
+
+	// Register the full subscriber population. IMSIs are materialised once
+	// here and reused for every later operation.
+	imsis := make([]string, opts.UEs)
+	for i := range imsis {
+		imsis[i] = fmt.Sprintf("imsi-%07d", i)
+		if err := d.RegisterSubscriber(imsis[i], cityAttr(i)); err != nil {
+			return res, fmt.Errorf("cbench: register %s: %w", imsis[i], err)
+		}
+	}
+	res.Registered = opts.UEs
+
+	// Pre-warm every (station, clause) path so the soak measures
+	// steady-state request handling, then attach the diurnal steady-state
+	// population at the stations the workload model chose for it.
+	for bs := 0; bs < opts.Stations; bs++ {
+		for _, c := range clauses {
+			if _, err := d.RequestPath(packet.BSID(bs), c); err != nil {
+				return res, fmt.Errorf("cbench: warm bs %d clause %d: %w", bs, c, err)
+			}
+		}
+	}
+	stream := workload.NewStream(opts.workloadParams())
+	initial := stream.InitialPopulation()
+	if len(initial) > opts.UEs {
+		initial = initial[:opts.UEs]
+	}
+	// attachedAt[bs] lists attached UE indices; detached is a LIFO of
+	// indices between sessions; UEs ≥ nextFresh have never attached.
+	attachedAt := make([][]int, opts.Stations)
+	var detached []int
+	nextFresh := 0
+	attach := func(ue, bs int) error {
+		if _, _, err := d.Attach(imsis[ue], packet.BSID(bs)); err != nil {
+			return err
+		}
+		attachedAt[bs] = append(attachedAt[bs], ue)
+		return nil
+	}
+	for _, bs := range initial {
+		if nextFresh >= opts.UEs {
+			break
+		}
+		if err := attach(nextFresh, bs); err != nil {
+			return res, fmt.Errorf("cbench: initial attach: %w", err)
+		}
+		nextFresh++
+	}
+	res.InitialAttach = nextFresh
+	res.LoadWallMS = time.Since(loadStart).Milliseconds()
+	if res.LoadWallMS > 0 {
+		res.LoadOpsPerSec = float64(opts.UEs+nextFresh) / (float64(res.LoadWallMS) / 1000)
+	}
+
+	// The compaction claim, measured: GC-settled heap growth across the
+	// load phase over the registered population.
+	res.LiveHeapBytes = liveHeap() - heapBase
+	res.BytesPerUE = float64(res.LiveHeapBytes) / float64(opts.UEs)
+	if res.InitialAttach > 0 {
+		res.AttachedBytesPerUE = float64(res.LiveHeapBytes) / float64(res.InitialAttach)
+	}
+	if res.BytesPerUE > 0 && res.LegacyBytesPerUE > 0 {
+		// Fleet-to-fleet: every shard holds the full subscriber base
+		// (broadcast registration) under either layout, so the deployment
+		// BytesPerUE measures is Shards pre-compaction controllers' worth.
+		res.LegacyFleetPerUE = res.LegacyBytesPerUE * float64(opts.Shards)
+		res.CompactionRatio = res.LegacyFleetPerUE / res.BytesPerUE
+	}
+
+	// Soak. Single-threaded event application in workload order keeps the
+	// run deterministic for a fixed SimSeconds; MinWall extends it by
+	// whole simulated seconds.
+	var gcBefore runtime.MemStats
+	runtime.ReadMemStats(&gcBefore)
+	var handoffLat metrics.CDF
+	var releases []pendingRelease
+	soakStart := time.Now()
+	sec := 0
+	for ; sec < opts.SimSeconds || time.Since(soakStart) < opts.MinWall; sec++ {
+		ev := stream.Next()
+
+		for _, bs := range ev.Arrivals {
+			var ue int
+			if n := len(detached); n > 0 {
+				ue = detached[n-1]
+				detached = detached[:n-1]
+			} else if nextFresh < opts.UEs {
+				ue = nextFresh
+				nextFresh++
+			} else {
+				continue // whole population already attached
+			}
+			if err := attach(ue, bs); err != nil {
+				res.OpErrors++
+				continue
+			}
+			res.Arrivals++
+		}
+
+		for _, ho := range ev.Handoffs {
+			src, dst := ho[0], ho[1]
+			l := attachedAt[src]
+			if len(l) == 0 {
+				continue // model and plant disagree; nothing to move
+			}
+			ue := l[len(l)-1]
+			t0 := time.Now()
+			hr, err := d.Handoff(imsis[ue], packet.BSID(dst))
+			if err != nil {
+				res.OpErrors++
+				continue
+			}
+			handoffLat.Add(float64(time.Since(t0)))
+			attachedAt[src] = l[:len(l)-1]
+			attachedAt[dst] = append(attachedAt[dst], ue)
+			res.Handoffs++
+			if hr.OldLocIP != 0 && len(hr.Shortcuts) > 0 {
+				if s, err := d.ShardOf(packet.BSID(dst)); err == nil {
+					releases = append(releases, pendingRelease{
+						due: sec + opts.ReleaseAfter, shard: s,
+						oldLoc: hr.OldLocIP, shortcuts: hr.Shortcuts,
+					})
+				}
+			}
+		}
+
+		for _, bs := range ev.Departures {
+			l := attachedAt[bs]
+			if len(l) == 0 {
+				continue
+			}
+			ue := l[len(l)-1]
+			if err := d.Detach(imsis[ue]); err != nil {
+				res.OpErrors++
+				continue
+			}
+			attachedAt[bs] = l[:len(l)-1]
+			detached = append(detached, ue)
+			res.Departures++
+		}
+
+		for bs, n := range ev.Bearers {
+			for i := 0; i < n; i++ {
+				if _, err := d.RequestPath(packet.BSID(bs), clauses[(bs+i)%len(clauses)]); err != nil {
+					res.OpErrors++
+					continue
+				}
+				res.Bearers++
+			}
+		}
+
+		// Expire the §5.1 soft timeouts that have come due.
+		kept := releases[:0]
+		for _, r := range releases {
+			if r.due > sec {
+				kept = append(kept, r)
+				continue
+			}
+			r.shard.Ctrl.ReleaseOldLocIP(r.oldLoc, r.shortcuts)
+			res.Releases++
+		}
+		releases = kept
+	}
+	// Drain the remaining reservations so the final invariant check sees
+	// a quiescent plant.
+	for _, r := range releases {
+		r.shard.Ctrl.ReleaseOldLocIP(r.oldLoc, r.shortcuts)
+		res.Releases++
+	}
+	soakWall := time.Since(soakStart)
+	res.SimSeconds = sec
+	res.SoakWallMS = soakWall.Milliseconds()
+	if s := soakWall.Seconds(); s > 0 {
+		ops := res.Arrivals + res.Handoffs + res.Departures + res.Bearers
+		res.OpsPerSec = float64(ops) / s
+		res.ArrivalsPerSec = float64(res.Arrivals) / s
+		res.HandoffsPerSec = float64(res.Handoffs) / s
+	}
+	res.HandoffP50NS = handoffLat.Quantile(0.5)
+	res.HandoffP99NS = handoffLat.Quantile(0.99)
+	res.HandoffMaxNS = handoffLat.Max()
+
+	var gcAfter runtime.MemStats
+	runtime.ReadMemStats(&gcAfter)
+	res.GCCount = gcAfter.NumGC - gcBefore.NumGC
+	res.GCPauseTotalMS = float64(gcAfter.PauseTotalNs-gcBefore.PauseTotalNs) / 1e6
+	for n := gcBefore.NumGC; n < gcAfter.NumGC && n < gcBefore.NumGC+256; n++ {
+		if p := float64(gcAfter.PauseNs[(n+255)%256]) / 1e6; p > res.GCPauseMaxMS {
+			res.GCPauseMaxMS = p
+		}
+	}
+
+	// Final cross-shard invariant sweep: a soak that corrupted state does
+	// not get to report numbers.
+	if _, err := d.CheckInvariants(); err != nil {
+		return res, fmt.Errorf("cbench: post-soak invariant violation: %w", err)
+	}
+
+	var hw metrics.IntSummary
+	for _, s := range d.Shards() {
+		h, _ := s.Ctrl.Installer.TableSizes()
+		hw.Merge(h)
+	}
+	res.RuleTableMax = hw.Max()
+	res.RuleTableMedian = hw.Median()
+	res.RuleTableTotal = hw.Total()
+	res.Mem = d.MemStats()
+	return res, nil
+}

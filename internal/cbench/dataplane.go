@@ -54,6 +54,9 @@ type DataplaneResult struct {
 	// packets forwarded; the burst path's steady state should hold this
 	// near zero.
 	AllocsPerPacket float64
+
+	// Mem is the testbed controller's end-of-run memory accounting.
+	Mem core.MemStats
 }
 
 // PerSecond is the headline packets-per-second number.
@@ -71,6 +74,7 @@ func (r DataplaneResult) PerSecond() float64 {
 // elements in the path.
 type dataplaneBed struct {
 	net  *dataplane.Network
+	ctrl *core.Controller
 	bs   packet.BSID
 	tmpl []packet.Packet // pre-walk header templates, one per flow
 }
@@ -109,7 +113,7 @@ func newDataplaneBed(flows int, reg *obs.Registry) (*dataplaneBed, error) {
 	if err != nil {
 		return nil, err
 	}
-	bed := &dataplaneBed{net: net, bs: 0, tmpl: make([]packet.Packet, flows)}
+	bed := &dataplaneBed{net: net, ctrl: ctrl, bs: 0, tmpl: make([]packet.Packet, flows)}
 	for i := range bed.tmpl {
 		bed.tmpl[i] = packet.Packet{
 			Src: ue.PermIP, Dst: packet.AddrFrom4(93, 184, 216, 34),
@@ -177,7 +181,7 @@ func BenchDataplane(opts DataplaneOptions) (DataplaneResult, error) {
 	if ep := firstErr.Load(); ep != nil {
 		return DataplaneResult{}, *ep
 	}
-	res := DataplaneResult{Packets: atomic.LoadUint64(&total), Elapsed: elapsed}
+	res := DataplaneResult{Packets: atomic.LoadUint64(&total), Elapsed: elapsed, Mem: bed.ctrl.MemStats()}
 	if res.Packets > 0 {
 		res.AllocsPerPacket = float64(m1.Mallocs-m0.Mallocs) / float64(res.Packets)
 	}

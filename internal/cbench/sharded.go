@@ -113,7 +113,7 @@ func BenchShardedController(opts ShardedOptions) (Result, error) {
 	for i := range after {
 		perShard[i] = after[i] - before[i]
 	}
-	return Result{Requests: total, Elapsed: elapsed, PerShard: perShard}, nil
+	return Result{Requests: total, Elapsed: elapsed, PerShard: perShard, Mem: d.MemStats()}, nil
 }
 
 // SweepRow is one line of a shard-scaling sweep.

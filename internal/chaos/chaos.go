@@ -138,6 +138,7 @@ type Result struct {
 	Releases int // old-LocIP releases fired (two-phase handoff completions)
 	Faults   FaultCounts
 	Final    shard.InvariantReport // checker report at quiescence
+	Mem      core.MemStats         // fleet memory accounting at quiescence
 }
 
 const (
@@ -218,6 +219,9 @@ func Run(cfg Config) (Result, error) {
 		return e.res, e.err
 	}
 	e.finish()
+	if e.err == nil {
+		e.res.Mem = e.d.MemStats()
+	}
 	return e.res, e.err
 }
 
@@ -243,10 +247,27 @@ func (e *engine) setup() error {
 			e.clauses = append(e.clauses, id)
 		}
 	}
+	// Policy churn and switch fail/recover allocate a fresh tag for every
+	// rebuilt path (stale tags must miss, never alias onto new paths), so a
+	// long chaos schedule consumes far more tag space than a steady-state
+	// dataplane. Widen the tag field: exhausting it mid-run would only
+	// exercise the allocator's fail-fast error, not the recovery logic
+	// under test.
+	plan := packet.DefaultPlan
+	plan.TagBits = 12
+	// Fail fast on a shard count the tag partition cannot feed — better
+	// an explicit configuration error here than an allocator error deep
+	// into the schedule.
+	if tagCap := int(plan.MaxTag()) / e.cfg.Shards; tagCap < 16 {
+		return fmt.Errorf(
+			"chaos: %d shards leave each shard only %d policy tags of the plan's %d; a churning schedule needs at least 16 per shard — lower -shards",
+			e.cfg.Shards, tagCap, plan.MaxTag())
+	}
 	d, err := shard.New(shard.Config{
 		Topology: g.Topology,
 		Gateway:  g.GatewayID,
 		Policy:   pol,
+		Plan:     plan,
 		MBTypes: map[string]topo.MBType{
 			policy.MBFirewall: 0, policy.MBTranscoder: 1, policy.MBEchoCancel: 2,
 		},

@@ -115,6 +115,15 @@ type InstallerOptions struct {
 	// 7): it saves gigabytes on 20000-station networks, but traces across
 	// ring clusters no longer resolve. The dataplane never sets this.
 	SkipAccessSwitchRules bool
+	// UnboundedTags lifts the plan's MaxTag bound on fresh-tag allocation.
+	// By default InstallPath fails cleanly when its residue class is
+	// exhausted — a tag past the plan's TagBits cannot be embedded in a
+	// port, so allocating one silently would surface later as corrupted
+	// classifiers mid-run. Rule-COUNTING simulations set this: Fig. 7's
+	// 20000-station sweeps (and the fresh-tag-per-path ablation) count
+	// table entries, not encodable ports, exactly as the paper's
+	// methodology does.
+	UnboundedTags bool
 	// TagOffset and TagStride partition the tag space across parallel
 	// controller shards: this installer allocates TagOffset+TagStride,
 	// TagOffset+2*TagStride, ... — the residue class TagOffset+TagStride
@@ -131,7 +140,11 @@ type InstallerOptions struct {
 type PathID uint64
 
 // InstalledPath records everything needed to trace, rebuild or re-anchor a
-// policy path.
+// policy path. Retained records live in the installer's arena (DESIGN.md
+// §14): Chain is interned per chain signature, and a loop-free path's
+// single tag is stored inline, so a steady-state record owns no private
+// heap allocations. Because Tags may alias the inline array, records are
+// never copied by value — Rebuild adopts payloads through copyPayloadFrom.
 type InstalledPath struct {
 	ID     PathID
 	Origin packet.BSID
@@ -140,6 +153,29 @@ type InstalledPath struct {
 	Tags  []packet.Tag
 	Chain []topo.MBInstanceID
 	Route *routing.Path
+
+	tag1 [1]packet.Tag // inline storage backing Tags for loop-free paths
+	slot uint32        // arena slot + 1; 0 = plain heap record
+}
+
+// setTags stores the tag sequence, inline for the single-tag case.
+func (ip *InstalledPath) setTags(tags []packet.Tag) {
+	if len(tags) == 1 {
+		ip.tag1[0] = tags[0]
+		ip.Tags = ip.tag1[:1:1]
+		return
+	}
+	ip.Tags = append([]packet.Tag(nil), tags...)
+}
+
+// copyPayloadFrom adopts src's payload while keeping ip's identity (ID and
+// arena slot). Tags are re-anchored to ip's own inline array, so src can be
+// released back to the arena immediately after.
+func (ip *InstalledPath) copyPayloadFrom(src *InstalledPath) {
+	ip.Origin = src.Origin
+	ip.Chain = src.Chain
+	ip.Route = src.Route
+	ip.setTags(src.Tags)
 }
 
 // GatewayTag is the tag return traffic carries when it enters the gateway.
@@ -182,6 +218,16 @@ type Installer struct {
 
 	paths map[PathID]*InstalledPath
 	stats InstallStats
+
+	// arena backs the retained InstalledPath records (DESIGN.md §14); a
+	// withdrawn path's slot is reused by the next install. chains interns
+	// one middlebox-instance chain copy per chain signature — retained for
+	// the installer's lifetime, bounded by distinct (gateway, chain) pairs,
+	// which is why it carries no refcount. seqs interns shortcut switch
+	// sequences (refcounted: shortcuts churn with handoffs).
+	arena  pathArena
+	chains map[string][]topo.MBInstanceID
+	seqs   seqPool
 
 	// treeParent holds the canonical shortest-path tree per gateway root,
 	// built lazily; location rules are only placed for steps that follow it.
@@ -232,6 +278,8 @@ func NewInstaller(t *topo.Topology, opts InstallerOptions) (*Installer, error) {
 		chainTags:  make(map[chainSegKey][]packet.Tag),
 		originTags: make(map[packet.BSID][]packet.Tag),
 		paths:      make(map[PathID]*InstalledPath),
+		chains:     make(map[string][]topo.MBInstanceID),
+		seqs:       newSeqPool(),
 		treeParent: make(map[topo.NodeID][]topo.NodeID),
 	}
 	in.scratch.demands = make(map[demandKey]demand)
@@ -413,14 +461,24 @@ func (in *Installer) Paths() []*InstalledPath {
 	return out
 }
 
-func (in *Installer) freshTag() packet.Tag {
+// freshTag allocates the next tag of this installer's residue class,
+// failing cleanly when the class is exhausted — the encodable tag space is
+// bounded by the address plan, and silently allocating past it would emit
+// tags no agent can embed (the mid-run allocator panic the bench guards
+// against up front).
+func (in *Installer) freshTag() (packet.Tag, error) {
 	stride := packet.Tag(1)
 	if in.Opts.TagStride > 1 {
 		stride = packet.Tag(in.Opts.TagStride)
 	}
-	in.nextTag += stride
+	next := in.nextTag + stride
+	if next > in.plan.MaxTag() && !in.Opts.UnboundedTags {
+		return 0, fmt.Errorf("core: policy-tag space exhausted: residue class %d (mod %d) has no tag left under plan max %d (%d allocated); widen Plan.TagBits or lower the shard count",
+			in.Opts.TagOffset, max(in.Opts.TagStride, 1), in.plan.MaxTag(), in.stats.TagsAllocated)
+	}
+	in.nextTag = next
 	in.stats.TagsAllocated++
-	return in.nextTag
+	return in.nextTag, nil
 }
 
 // chainSegKey identifies a shareable tag population: paths with the same
@@ -929,7 +987,11 @@ func (in *Installer) InstallPath(p *routing.Path) (*InstalledPath, error) {
 			}
 		}
 		// A new tag when candTag is empty (Algorithm 1 lines 9-10).
-		tags[i] = in.freshTag()
+		t, err := in.freshTag()
+		if err != nil {
+			return nil, err
+		}
+		tags[i] = t
 	}
 
 	// Wire inter-segment swaps. Downstream crosses from segment i to i+1 on
@@ -970,17 +1032,37 @@ func (in *Installer) InstallPath(p *routing.Path) (*InstalledPath, error) {
 	}
 
 	in.nextID++
-	rec := &InstalledPath{
-		ID:     in.nextID,
-		Origin: p.Origin,
-		Tags:   tags,
-		Chain:  append([]topo.MBInstanceID(nil), p.Chain...),
-		Route:  p,
+	var rec *InstalledPath
+	if in.Opts.DiscardPathRecords {
+		// Transient record: the sweep drops it after reading; interning its
+		// chain would retain one entry per signature across tens of millions
+		// of installs for nothing.
+		rec = &InstalledPath{Chain: append([]topo.MBInstanceID(nil), p.Chain...)}
+	} else {
+		rec = in.arena.alloc()
+		rec.Chain = in.internChain(chainKey, p.Chain)
 	}
+	rec.ID = in.nextID
+	rec.Origin = p.Origin
+	rec.Route = p
+	rec.setTags(tags)
 	if !in.Opts.DiscardPathRecords {
 		in.paths[rec.ID] = rec
 	}
 	return rec, nil
+}
+
+// internChain returns the canonical chain slice for one chain signature,
+// copying on first sight. Entries live for the installer's lifetime: the
+// population is bounded by distinct (gateway, instance-chain) signatures,
+// not by installs.
+func (in *Installer) internChain(key string, chain []topo.MBInstanceID) []topo.MBInstanceID {
+	if c, ok := in.chains[key]; ok {
+		return c
+	}
+	cp := append([]topo.MBInstanceID(nil), chain...)
+	in.chains[key] = cp
+	return cp
 }
 
 // Rebuild reinstalls every retained path from scratch — the paper's offline
@@ -993,9 +1075,12 @@ func (in *Installer) InstallPath(p *routing.Path) (*InstalledPath, error) {
 // re-optimisation pass).
 func (in *Installer) Rebuild(keep func(*InstalledPath) bool) error {
 	retained := make([]*InstalledPath, 0, len(in.paths))
+	dropped := make([]*InstalledPath, 0)
 	for _, p := range in.paths {
 		if keep == nil || keep(p) {
 			retained = append(retained, p)
+		} else {
+			dropped = append(dropped, p)
 		}
 	}
 	sort.Slice(retained, func(i, j int) bool { return retained[i].ID < retained[j].ID })
@@ -1015,15 +1100,24 @@ func (in *Installer) Rebuild(keep func(*InstalledPath) bool) error {
 		in.EnableLocationRouting(root)
 	}
 
+	// Withdrawn records go back to the arena only now, after the maps no
+	// longer reference them (their slots may be handed out by the
+	// re-installs below).
+	for _, p := range dropped {
+		in.arena.release(p)
+	}
+
 	for _, old := range retained {
 		rec, err := in.InstallPath(old.Route)
 		if err != nil {
 			return fmt.Errorf("core: rebuild of path %d failed: %w", old.ID, err)
 		}
-		// Preserve identity so controller caches stay valid.
+		// Preserve identity so controller caches stay valid: the original
+		// record adopts the fresh payload (re-anchoring inline tags to its
+		// own storage) and the fresh record's slot is recycled.
 		delete(in.paths, rec.ID)
-		rec.ID = old.ID
-		*old = *rec
+		old.copyPayloadFrom(rec)
+		in.arena.release(rec)
 		in.paths[old.ID] = old
 	}
 	return nil

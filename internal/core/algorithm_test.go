@@ -431,7 +431,10 @@ func TestAblationsCostMoreRules(t *testing.T) {
 		return hw.Total()
 	}
 	full := run(InstallerOptions{})
-	fresh := run(InstallerOptions{FreshTagPerPath: true})
+	// Fresh-tag-per-path allocates one tag per (station, chain) — far past
+	// the default plan's encodable space; this is a rule-counting ablation,
+	// so lift the bound exactly as the sweeps do.
+	fresh := run(InstallerOptions{FreshTagPerPath: true, UnboundedTags: true})
 	noAgg := run(InstallerOptions{NoPrefixAggregation: true})
 	noDef := run(InstallerOptions{NoTagDefault: true})
 	if fresh <= full {

@@ -1,0 +1,65 @@
+package core
+
+// This file is the installed-path arena (DESIGN.md §14): path records live
+// in chunked slabs with a slot free list instead of one heap object per
+// install. Records never move (chunked slabs), so *InstalledPath pointers
+// held by the controller's path map stay valid across arena growth; a
+// record's slot returns to the free list when the path is withdrawn
+// (RemovePolicyPaths) or when Rebuild discards the fresh record after
+// copying it over the identity-preserving original. Loop-free paths — the
+// overwhelmingly common case — keep their single tag in the record's
+// inline array, so a steady-state install allocates no per-path slices.
+//
+// The arena is owned by the Installer and therefore serialised under the
+// controller's ruleMu. Rule-counting sweeps (DiscardPathRecords) bypass it:
+// their records are transient by design and must not pin slab memory.
+
+// pathSlabShift sizes one arena slab at 512 records.
+const pathSlabShift = 9
+const pathSlabSize = 1 << pathSlabShift
+
+// pathArena allocates InstalledPath records in chunked slabs.
+type pathArena struct {
+	slabs [][]InstalledPath
+	free  []uint32
+	next  uint32
+}
+
+// alloc returns a zeroed record with its arena slot stamped (slot+1; 0
+// marks a heap record the arena will refuse to reclaim).
+func (a *pathArena) alloc() *InstalledPath {
+	var slot uint32
+	if n := len(a.free); n > 0 {
+		slot = a.free[n-1]
+		a.free = a.free[:n-1]
+	} else {
+		slot = a.next
+		a.next++
+		if int(slot>>pathSlabShift) == len(a.slabs) {
+			a.slabs = append(a.slabs, make([]InstalledPath, pathSlabSize))
+		}
+	}
+	rec := &a.slabs[slot>>pathSlabShift][slot&(pathSlabSize-1)]
+	*rec = InstalledPath{slot: slot + 1}
+	return rec
+}
+
+// release returns a record's slot to the free list. Heap records (slot 0,
+// from DiscardPathRecords mode) are left to the garbage collector.
+func (a *pathArena) release(rec *InstalledPath) {
+	if rec.slot == 0 {
+		return
+	}
+	slot := rec.slot - 1
+	*rec = InstalledPath{}
+	a.free = append(a.free, slot)
+}
+
+// bytes reports the slab footprint.
+func (a *pathArena) bytes() uint64 {
+	const recSize = 80 // unsafe.Sizeof(InstalledPath{}) on 64-bit
+	return uint64(len(a.slabs))*pathSlabSize*recSize + uint64(len(a.free))*4
+}
+
+// freeSlots reports the free-list depth.
+func (a *pathArena) freeSlots() int { return len(a.free) }

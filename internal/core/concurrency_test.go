@@ -31,7 +31,12 @@ func allowClauses(p *policy.Policy) []int {
 // keep: the race detector sees every pairing of the three lock domains and
 // the lock-free fast path.
 func TestConcurrentStressInvariants(t *testing.T) {
-	c, n := testController(t)
+	// Twelve fail/recover cycles each rebuild every installed path on a
+	// fresh tag (tags are never reused), and the requesters racing the
+	// recomputations install more — too many for the default 6-bit field.
+	plan := packet.DefaultPlan
+	plan.TagBits = 12
+	c, n := testControllerPlan(t, plan)
 	const nUE = 12
 	imsis := make([]string, nUE)
 	for i := range imsis {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -115,17 +114,26 @@ type Controller struct {
 	permNext uint32               // guarded by allocMu
 	owned    map[packet.BSID]bool // guarded by ueMu; nil = unrestricted
 
-	subscribers map[string]policy.Attributes // guarded by ueMu
-	ues         map[string]*UE               // guarded by ueMu
-	byLoc       map[packet.Addr]string       // guarded by ueMu; LocIP -> IMSI
-	byPerm      map[packet.Addr]string       // guarded by ueMu; permanent IP -> IMSI
+	// ues is the struct-of-arrays UE directory (DESIGN.md §14): subscriber
+	// registration, attachment and location state live together in one
+	// fixed-size slab record per IMSI, reached through open-addressed
+	// IMSI/LocIP/permanent-IP indices. attrs interns the subscriber
+	// attribute sets (and their compiled classifier templates) the records
+	// reference by handle.
+	ues   ueTable  // guarded by ueMu
+	attrs attrPool // guarded by ueMu
+	// encBuf is the store-record encoding scratch buffer (store.Put copies
+	// per replica, so it is reusable immediately).
+	encBuf []byte // guarded by ueMu
 	// reservations holds, per still-reserved old LocIP, the live shortcut
 	// state for in-flight flows of a moved UE (§5.1); retargeted on every
 	// subsequent handoff, removed by ReleaseOldLocIP's soft timeout.
-	reservations map[packet.Addr]*reservation  // guarded by ueMu
-	nextUEID     map[packet.BSID]packet.UEID   // guarded by allocMu
-	freeUEIDs    map[packet.BSID][]packet.UEID // guarded by allocMu
-	paths        map[pathKey]*InstalledPath    // guarded by ruleMu
+	reservations map[packet.Addr]*reservation // guarded by ueMu
+	// Per-station UE ID allocators, indexed by BSID and grown on demand
+	// (ensureBSLocked) — dense arrays, not maps: station IDs are small.
+	nextUEID  []packet.UEID              // guarded by allocMu
+	freeUEIDs [][]packet.UEID            // guarded by allocMu
+	paths     map[pathKey]*InstalledPath // guarded by ruleMu
 
 	// tagCache is the copy-on-write (bs, clause) -> tag memo. Readers Load
 	// and index it with no lock; writers (all holding ruleMu) publish a
@@ -210,13 +218,9 @@ func NewController(t *topo.Topology, cfg ControllerConfig) (*Controller, error) 
 		mbTypes:      cfg.MBTypes,
 		permPool:     cfg.PermPool,
 		owned:        owned,
-		subscribers:  make(map[string]policy.Attributes),
-		ues:          make(map[string]*UE),
-		byLoc:        make(map[packet.Addr]string),
-		byPerm:       make(map[packet.Addr]string),
+		ues:          newUETable(),
+		attrs:        newAttrPool(),
 		reservations: make(map[packet.Addr]*reservation),
-		nextUEID:     make(map[packet.BSID]packet.UEID),
-		freeUEIDs:    make(map[packet.BSID][]packet.UEID),
 		paths:        make(map[pathKey]*InstalledPath),
 		obs:          newCoreObs(cfg.Obs),
 	}
@@ -234,23 +238,67 @@ func (c *Controller) Gateway() topo.NodeID { return c.gateway }
 // PermPool exposes the permanent-address block.
 func (c *Controller) PermPool() packet.Prefix { return c.permPool }
 
+// ueViewLocked materialises the public UE view of one slab record.
+//
+// caller holds ueMu
+func (c *Controller) ueViewLocked(r *ueRecord) UE {
+	return UE{IMSI: r.imsi, Attr: c.attrs.attrOf(r.attr), PermIP: r.permIP,
+		BS: r.bs, UEID: r.ueid, LocIP: r.locIP}
+}
+
 // RegisterSubscriber loads one subscriber record (the HSS equivalent).
+// Re-registering replaces the subscriber's attributes; an already attached
+// UE keeps the attributes it was admitted under.
 func (c *Controller) RegisterSubscriber(imsi string, attr policy.Attributes) error {
 	c.ueMu.Lock()
 	defer c.ueMu.Unlock()
-	c.subscribers[imsi] = attr
-	blob, err := json.Marshal(attr)
-	if err != nil {
-		return err
+	r, _, ok := c.ues.get(imsi)
+	if !ok {
+		r, _ = c.ues.alloc(imsi)
 	}
-	_, err = c.Store.Put("sub/"+imsi, blob)
+	// Acquire before release so re-registering identical attributes never
+	// drops the pool entry just to re-create (and re-compile) it.
+	h := c.attrs.acquire(attr, c.Policy)
+	c.attrs.release(r.subAttr)
+	r.subAttr = h
+	r.flags |= ueRegistered
+	c.encBuf = AppendSubscriberRecord(c.encBuf[:0], attr)
+	_, err := c.Store.Put("sub/"+imsi, c.encBuf)
 	return err
+}
+
+// ensureBSLocked grows the per-station allocator arrays to cover bs.
+//
+// caller holds allocMu
+func (c *Controller) ensureBSLocked(bs packet.BSID) {
+	if int(bs) < len(c.nextUEID) {
+		return
+	}
+	n := len(c.nextUEID) * 2
+	if n <= int(bs) {
+		n = int(bs) + 1
+	}
+	next := make([]packet.UEID, n)
+	copy(next, c.nextUEID)
+	c.nextUEID = next
+	free := make([][]packet.UEID, n)
+	copy(free, c.freeUEIDs)
+	c.freeUEIDs = free
+}
+
+// freeUEIDLocked returns one (station, UE ID) to the free list.
+//
+// caller holds allocMu
+func (c *Controller) freeUEIDLocked(bs packet.BSID, id packet.UEID) {
+	c.ensureBSLocked(bs)
+	c.freeUEIDs[bs] = append(c.freeUEIDs[bs], id)
 }
 
 // allocLocIP assigns a fresh (UEID, LocIP) at a base station.
 //
 // caller holds allocMu
 func (c *Controller) allocLocIP(bs packet.BSID) (packet.UEID, packet.Addr, error) {
+	c.ensureBSLocked(bs)
 	var id packet.UEID
 	if free := c.freeUEIDs[bs]; len(free) > 0 {
 		id = free[len(free)-1]
@@ -275,8 +323,8 @@ func (c *Controller) allocLocIP(bs packet.BSID) (packet.UEID, packet.Addr, error
 func (c *Controller) Attach(imsi string, bs packet.BSID) (UE, []Classifier, error) {
 	c.ueMu.Lock()
 	defer c.ueMu.Unlock()
-	attr, ok := c.subscribers[imsi]
-	if !ok {
+	r, slot, ok := c.ues.get(imsi)
+	if !ok || r.flags&ueRegistered == 0 {
 		return UE{}, nil, fmt.Errorf("core: unknown subscriber %q", imsi)
 	}
 	if _, ok := c.T.Station(bs); !ok {
@@ -287,63 +335,67 @@ func (c *Controller) Attach(imsi string, bs packet.BSID) (UE, []Classifier, erro
 	}
 	c.allocMu.Lock()
 	defer c.allocMu.Unlock()
-	ue := c.ues[imsi]
-	if ue == nil {
+	if r.flags&ueHasRecord == 0 {
 		hostBits := 32 - c.permPool.Len
 		if c.permNext >= 1<<hostBits-1 {
 			return UE{}, nil, fmt.Errorf("core: permanent pool exhausted")
 		}
 		c.permNext++
-		ue = &UE{IMSI: imsi, Attr: attr, PermIP: c.permPool.Addr | packet.Addr(c.permNext)}
-		c.ues[imsi] = ue
-		c.byPerm[ue.PermIP] = imsi
-	} else if ue.BS == bs && ue.LocIP != 0 {
+		r.flags |= ueHasRecord
+		// First attach fixes the UE's attributes to the subscriber record's
+		// current ones: one more reference to the same interned entry.
+		r.attr = c.attrs.acquire(c.attrs.attrOf(r.subAttr), c.Policy)
+		r.permIP = c.permPool.Addr | packet.Addr(c.permNext)
+		c.ues.permIdx.insert(r.permIP, slot)
+	} else if r.bs == bs && r.locIP != 0 {
 		// Re-attach at the same station keeps the allocation.
-		return *ue, c.classifiersLocked(ue), nil
+		return c.ueViewLocked(r), c.classifiersLocked(r), nil
 	}
 	id, loc, err := c.allocLocIP(bs)
 	if err != nil {
 		return UE{}, nil, err
 	}
-	if ue.LocIP != 0 {
-		delete(c.byLoc, ue.LocIP)
-		c.freeUEIDs[ue.BS] = append(c.freeUEIDs[ue.BS], ue.UEID)
+	if r.locIP != 0 {
+		c.ues.locIdx.delete(r.locIP)
+		c.freeUEIDLocked(r.bs, r.ueid)
 	}
-	ue.BS, ue.UEID, ue.LocIP = bs, id, loc
-	c.byLoc[loc] = imsi
+	r.bs, r.ueid, r.locIP = bs, id, loc
+	c.ues.locIdx.insert(loc, slot)
 	c.attaches.Add(1)
-	if err := c.persistUELocked(ue); err != nil {
+	if err := c.persistUELocked(r); err != nil {
 		return UE{}, nil, err
 	}
-	return *ue, c.classifiersLocked(ue), nil
+	return c.ueViewLocked(r), c.classifiersLocked(r), nil
 }
 
-// persistUELocked writes a UE record to the replicated store (the store is
-// internally synchronised; the lock keeps the record itself stable).
+// persistUELocked writes a UE record to the replicated store through the
+// binary codec and the controller's scratch buffer (the store copies per
+// replica, so the buffer is immediately reusable — no per-persist
+// allocation).
 //
 // caller holds ueMu
-func (c *Controller) persistUELocked(ue *UE) error {
-	blob, err := json.Marshal(ue)
-	if err != nil {
-		return err
-	}
-	_, err = c.Store.Put("ue/"+ue.IMSI, blob)
+func (c *Controller) persistUELocked(r *ueRecord) error {
+	ue := c.ueViewLocked(r)
+	c.encBuf = AppendUERecord(c.encBuf[:0], &ue)
+	_, err := c.Store.Put("ue/"+r.imsi, c.encBuf)
 	return err
 }
 
-// classifiersLocked compiles the service policy for one UE, resolving tags
-// for clauses whose policy paths already exist at the UE's base station
-// (read from the tagCache snapshot — no rule-table lock needed).
+// classifiersLocked assembles the service policy for one UE from its
+// interned classifier template (compiled once per distinct attribute set,
+// not once per attach), resolving tags for clauses whose policy paths
+// already exist at the UE's base station (read from the tagCache snapshot —
+// no rule-table lock needed).
 //
 // caller holds ueMu
-func (c *Controller) classifiersLocked(ue *UE) []Classifier {
-	entries := c.Policy.Compile(ue.Attr)
+func (c *Controller) classifiersLocked(r *ueRecord) []Classifier {
+	entries := c.attrs.compiled(r.attr)
 	tags := *c.tagCache.Load()
 	out := make([]Classifier, 0, len(entries))
 	for _, e := range entries {
 		cl := Classifier{App: e.App, Clause: e.Clause, Allow: e.Action.Allow, QoS: e.Action.QoS}
 		if e.Action.Allow {
-			cl.Tag = tags[pathKey{ue.BS, e.Clause}]
+			cl.Tag = tags[pathKey{r.bs, e.Clause}]
 			// Tag 0 = "send to controller": the agent asks for the path on
 			// first use (§4.2's second classifier example).
 		}
@@ -520,11 +572,11 @@ func (c *Controller) invalidateStationLocked(bs packet.BSID) {
 func (c *Controller) LookupUE(imsi string) (UE, bool) {
 	c.ueMu.RLock()
 	defer c.ueMu.RUnlock()
-	ue, ok := c.ues[imsi]
-	if !ok {
+	r, _, ok := c.ues.get(imsi)
+	if !ok || r.flags&ueHasRecord == 0 {
 		return UE{}, false
 	}
-	return *ue, true
+	return c.ueViewLocked(r), true
 }
 
 // ResolveLocIP translates a UE's permanent address to its current
@@ -534,26 +586,28 @@ func (c *Controller) LookupUE(imsi string) (UE, bool) {
 func (c *Controller) ResolveLocIP(perm packet.Addr) (packet.Addr, error) {
 	c.ueMu.RLock()
 	defer c.ueMu.RUnlock()
-	imsi, ok := c.byPerm[perm]
+	slot, ok := c.ues.permIdx.lookup(perm)
 	if !ok {
 		return 0, fmt.Errorf("core: no UE with permanent address %s", perm)
 	}
-	ue := c.ues[imsi]
-	if ue.LocIP == 0 {
-		return 0, fmt.Errorf("core: UE %q is detached", imsi)
+	r := c.ues.rec(slot)
+	if r.locIP == 0 {
+		return 0, fmt.Errorf("core: UE %q is detached", r.imsi)
 	}
-	return ue.LocIP, nil
+	return r.locIP, nil
 }
 
-// LookupByLocIP resolves a UE by its current location-dependent address.
+// LookupByLocIP resolves a UE by its current location-dependent address
+// (or by a still-reserved old one — the UE's current record is returned
+// either way).
 func (c *Controller) LookupByLocIP(loc packet.Addr) (UE, bool) {
 	c.ueMu.RLock()
 	defer c.ueMu.RUnlock()
-	imsi, ok := c.byLoc[loc]
+	slot, ok := c.ues.locIdx.lookup(loc)
 	if !ok {
 		return UE{}, false
 	}
-	return *c.ues[imsi], true
+	return c.ueViewLocked(c.ues.rec(slot)), true
 }
 
 // Detach releases a UE's location state (its permanent IP remains bound to
@@ -567,16 +621,16 @@ func (c *Controller) LookupByLocIP(loc packet.Addr) (UE, bool) {
 func (c *Controller) Detach(imsi string) error {
 	c.ueMu.Lock()
 	defer c.ueMu.Unlock()
-	ue, ok := c.ues[imsi]
-	if !ok {
+	r, _, ok := c.ues.get(imsi)
+	if !ok || r.flags&ueHasRecord == 0 {
 		return fmt.Errorf("core: unknown UE %q", imsi)
 	}
-	if ue.LocIP != 0 {
-		delete(c.byLoc, ue.LocIP)
+	if r.locIP != 0 {
+		c.ues.locIdx.delete(r.locIP)
 		c.allocMu.Lock()
-		c.freeUEIDs[ue.BS] = append(c.freeUEIDs[ue.BS], ue.UEID)
+		c.freeUEIDLocked(r.bs, r.ueid)
 		c.allocMu.Unlock()
-		ue.LocIP, ue.UEID = 0, 0
+		r.locIP, r.ueid = 0, 0
 	}
 	c.ruleMu.Lock()
 	for _, rsv := range c.reservations {
@@ -610,28 +664,40 @@ func (c *Controller) RecoverLocations(reports []AgentLocationReport) error {
 	defer c.ueMu.Unlock()
 	c.allocMu.Lock()
 	defer c.allocMu.Unlock()
-	c.byLoc = make(map[packet.Addr]string)
-	c.nextUEID = make(map[packet.BSID]packet.UEID)
-	c.freeUEIDs = make(map[packet.BSID][]packet.UEID)
-	for _, ue := range c.ues {
-		ue.LocIP, ue.UEID, ue.BS = 0, 0, 0
+	c.ues.locIdx.reset()
+	for i := range c.nextUEID {
+		c.nextUEID[i] = 0
 	}
+	for i := range c.freeUEIDs {
+		c.freeUEIDs[i] = c.freeUEIDs[i][:0]
+	}
+	c.ues.forEach(func(_ uint32, r *ueRecord) bool {
+		r.locIP, r.ueid, r.bs = 0, 0, 0
+		return true
+	})
 	for _, rep := range reports {
 		if !c.ownsLocked(rep.BS) {
 			continue // another shard's station; its owner rebuilds it
 		}
 		for _, u := range rep.UEs {
-			ue, ok := c.ues[u.IMSI]
+			r, slot, ok := c.ues.get(u.IMSI)
 			if !ok {
-				ue = &UE{IMSI: u.IMSI, Attr: u.Attr, PermIP: u.PermIP}
-				c.ues[u.IMSI] = ue
+				r, slot = c.ues.alloc(u.IMSI)
 			}
-			ue.BS, ue.UEID, ue.LocIP = rep.BS, u.UEID, u.LocIP
-			c.byLoc[u.LocIP] = u.IMSI
+			if r.flags&ueHasRecord == 0 {
+				r.flags |= ueHasRecord
+				c.attrs.release(r.attr)
+				r.attr = c.attrs.acquire(u.Attr, c.Policy)
+				r.permIP = u.PermIP
+				c.ues.permIdx.insert(u.PermIP, slot)
+			}
+			r.bs, r.ueid, r.locIP = rep.BS, u.UEID, u.LocIP
+			c.ues.locIdx.insert(u.LocIP, slot)
+			c.ensureBSLocked(rep.BS)
 			if u.UEID > c.nextUEID[rep.BS] {
 				c.nextUEID[rep.BS] = u.UEID
 			}
-			if err := c.persistUELocked(ue); err != nil {
+			if err := c.persistUELocked(r); err != nil {
 				return err
 			}
 		}

@@ -16,12 +16,21 @@ import (
 // with a live obs registry, so the whole suite (benchmarks included)
 // exercises the instrumented code paths.
 func testController(t testing.TB) (*Controller, *fig3Net) {
+	return testControllerPlan(t, packet.Plan{})
+}
+
+// testControllerPlan is testController with an explicit address plan.
+// Tests that churn long enough to allocate many policy tags (tags are
+// monotonic and never reused, so stale ones can't alias) pass a plan with
+// a widened tag field, as the chaos harness does.
+func testControllerPlan(t testing.TB, plan packet.Plan) (*Controller, *fig3Net) {
 	t.Helper()
 	n := newFig3Net(t)
 	if _, err := n.AttachMiddlebox(2, n.cs1); err != nil { // echo-cancel
 		t.Fatal(err)
 	}
 	c, err := NewController(n.Topology, ControllerConfig{
+		Plan:    plan,
 		Obs:     obs.New(),
 		Gateway: n.gw,
 		Policy:  policy.ExampleCarrierPolicy(),

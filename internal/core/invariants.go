@@ -80,7 +80,7 @@ func (c *Controller) CheckInvariants() (InvariantReport, error) {
 	}
 	liveIDs := make(map[stationID]packet.Addr)
 	for loc, rsv := range c.reservations {
-		ue, ok := c.ues[rsv.imsi]
+		_, ueSlot, ok := c.ues.get(rsv.imsi)
 		if !ok {
 			return rep, fmt.Errorf("core: reservation %s names unknown UE %q", loc, rsv.imsi)
 		}
@@ -91,67 +91,155 @@ func (c *Controller) CheckInvariants() (InvariantReport, error) {
 		if !c.ownsLocked(bs) {
 			return rep, fmt.Errorf("core: reservation %s at unowned station %d", loc, bs)
 		}
-		if holder, held := c.byLoc[loc]; !held || holder != rsv.imsi {
-			return rep, fmt.Errorf("core: reserved address %s not mapped to its UE %q in byLoc", loc, ue.IMSI)
+		if slot, held := c.ues.locIdx.lookup(loc); !held || slot != ueSlot {
+			return rep, fmt.Errorf("core: reserved address %s not indexed to its UE %q", loc, rsv.imsi)
 		}
 		reservedBS[bs] = true
 		liveIDs[stationID{bs, id}] = loc
 	}
 
-	// UE directory coherence.
-	for imsi, ue := range c.ues {
-		if ue.IMSI != imsi {
-			return rep, fmt.Errorf("core: UE record %q filed under IMSI %q", ue.IMSI, imsi)
+	// UE directory coherence, plus the struct-of-arrays layout's own
+	// integrity: every record reachable through its IMSI index entry, every
+	// address index entry pointing at the slot that owns the address, and
+	// the intern-pool reference counts exactly matching a full scan.
+	var invErr error
+	attrRefs := make(map[attrHandle]uint32)
+	records := 0
+	c.ues.forEach(func(slot uint32, r *ueRecord) bool {
+		records++
+		if r.flags&ueRegistered != 0 {
+			if r.subAttr == 0 {
+				invErr = fmt.Errorf("core: subscriber %q has no interned attributes", r.imsi)
+				return false
+			}
+			attrRefs[r.subAttr]++
 		}
-		if _, ok := c.subscribers[imsi]; !ok {
-			return rep, fmt.Errorf("core: UE %q has no subscriber record", imsi)
+		if _, gotSlot, ok := c.ues.get(r.imsi); !ok || gotSlot != slot {
+			invErr = fmt.Errorf("core: record %q at slot %d not reachable through the IMSI index", r.imsi, slot)
+			return false
 		}
-		if holder, ok := c.byPerm[ue.PermIP]; !ok || holder != imsi {
-			return rep, fmt.Errorf("core: UE %q permanent address %s not mapped back to it", imsi, ue.PermIP)
+		if r.flags&ueHasRecord == 0 {
+			return true // registered-only subscriber: no UE state to check
 		}
-		if ue.LocIP == 0 {
-			continue
+		if r.attr == 0 {
+			invErr = fmt.Errorf("core: UE %q has no interned attributes", r.imsi)
+			return false
+		}
+		attrRefs[r.attr]++
+		if r.flags&ueRegistered == 0 {
+			invErr = fmt.Errorf("core: UE %q has no subscriber record", r.imsi)
+			return false
+		}
+		if got, ok := c.ues.permIdx.lookup(r.permIP); !ok || got != slot {
+			invErr = fmt.Errorf("core: UE %q permanent address %s not indexed back to it", r.imsi, r.permIP)
+			return false
+		}
+		if r.locIP == 0 {
+			return true
 		}
 		rep.Attached++
-		if holder, ok := c.byLoc[ue.LocIP]; !ok || holder != imsi {
-			return rep, fmt.Errorf("core: UE %q location %s not mapped back to it", imsi, ue.LocIP)
+		if got, ok := c.ues.locIdx.lookup(r.locIP); !ok || got != slot {
+			invErr = fmt.Errorf("core: UE %q location %s not indexed back to it", r.imsi, r.locIP)
+			return false
 		}
-		bs, id, ok := c.plan.Split(ue.LocIP)
-		if !ok || bs != ue.BS || id != ue.UEID {
-			return rep, fmt.Errorf("core: UE %q location %s does not embed (bs %d, id %d)", imsi, ue.LocIP, ue.BS, ue.UEID)
+		bs, id, ok := c.plan.Split(r.locIP)
+		if !ok || bs != r.bs || id != r.ueid {
+			invErr = fmt.Errorf("core: UE %q location %s does not embed (bs %d, id %d)", r.imsi, r.locIP, r.bs, r.ueid)
+			return false
 		}
-		if !c.ownsLocked(ue.BS) {
-			return rep, fmt.Errorf("core: UE %q attached at unowned station %d", imsi, ue.BS)
+		if !c.ownsLocked(r.bs) {
+			invErr = fmt.Errorf("core: UE %q attached at unowned station %d", r.imsi, r.bs)
+			return false
 		}
 		if prev, dup := liveIDs[stationID{bs, id}]; dup {
-			return rep, fmt.Errorf("core: UE ID %d at station %d serves both %s and %s", id, bs, prev, ue.LocIP)
+			invErr = fmt.Errorf("core: UE ID %d at station %d serves both %s and %s", id, bs, prev, r.locIP)
+			return false
 		}
-		liveIDs[stationID{bs, id}] = ue.LocIP
+		liveIDs[stationID{bs, id}] = r.locIP
+		return true
+	})
+	if invErr != nil {
+		return rep, invErr
 	}
-	for loc, imsi := range c.byLoc {
-		ue, ok := c.ues[imsi]
-		if !ok {
-			return rep, fmt.Errorf("core: byLoc %s names unknown UE %q", loc, imsi)
+
+	// Slot accounting: every allocated slot is live or free, never both.
+	if records != c.ues.live {
+		return rep, fmt.Errorf("core: %d live records scanned, table counter says %d", records, c.ues.live)
+	}
+	if c.ues.live+len(c.ues.free) != int(c.ues.next) {
+		return rep, fmt.Errorf("core: slot leak: %d live + %d free != %d allocated", c.ues.live, len(c.ues.free), c.ues.next)
+	}
+
+	// Reverse index checks: no index entry points at a slot that does not
+	// own its address.
+	c.ues.locIdx.forEach(func(loc packet.Addr, slot uint32) bool {
+		r := c.ues.rec(slot)
+		if r.flags&ueHasRecord == 0 {
+			invErr = fmt.Errorf("core: location index %s names slot %d with no UE record", loc, slot)
+			return false
 		}
-		if ue.LocIP != loc {
-			if _, reserved := c.reservations[loc]; !reserved {
-				return rep, fmt.Errorf("core: byLoc %s -> %q is neither current nor reserved", loc, imsi)
+		if r.locIP != loc {
+			rsv, reserved := c.reservations[loc]
+			if !reserved || rsv.imsi != r.imsi {
+				invErr = fmt.Errorf("core: location index %s -> %q is neither current nor reserved", loc, r.imsi)
+				return false
 			}
 		}
+		return true
+	})
+	if invErr != nil {
+		return rep, invErr
 	}
-	for perm, imsi := range c.byPerm {
-		ue, ok := c.ues[imsi]
-		if !ok {
-			return rep, fmt.Errorf("core: byPerm %s names unknown UE %q", perm, imsi)
+	c.ues.permIdx.forEach(func(perm packet.Addr, slot uint32) bool {
+		r := c.ues.rec(slot)
+		if r.flags&ueHasRecord == 0 || r.permIP != perm {
+			invErr = fmt.Errorf("core: permanent index %s -> slot %d whose record does not hold it", perm, slot)
+			return false
 		}
-		if ue.PermIP != perm {
-			return rep, fmt.Errorf("core: byPerm %s -> %q whose permanent address is %s", perm, imsi, ue.PermIP)
+		return true
+	})
+	if invErr != nil {
+		return rep, invErr
+	}
+
+	// Intern-pool refcounts: the scan above counted every handle reference
+	// the records hold; the pools must agree exactly — an entry reclaimed
+	// too early or leaked shows up here.
+	var scanRefs uint64
+	for h, n := range attrRefs {
+		if got := c.attrs.refs(h); got != n {
+			return rep, fmt.Errorf("core: interned attribute entry %d has %d refs, records hold %d", h, got, n)
 		}
+		scanRefs += uint64(n)
+	}
+	if got := c.attrs.totalRefs(); got != scanRefs {
+		return rep, fmt.Errorf("core: attribute pool holds %d refs, records hold %d", got, scanRefs)
+	}
+	if got := c.attrs.liveEntries(); got != len(attrRefs) {
+		return rep, fmt.Errorf("core: attribute pool has %d live entries, records reference %d", got, len(attrRefs))
+	}
+	seqRefs := uint64(0)
+	seqHandles := make(map[seqHandle]bool)
+	for _, rsv := range c.reservations {
+		for _, sc := range rsv.shortcuts {
+			if sc.routeH == 0 {
+				return rep, fmt.Errorf("core: live shortcut for %s holds no route reference", sc.Loc)
+			}
+			seqRefs++
+			seqHandles[sc.routeH] = true
+		}
+	}
+	if got := c.Installer.seqs.totalRefs(); got != seqRefs {
+		return rep, fmt.Errorf("core: route pool holds %d refs, live shortcuts hold %d", got, seqRefs)
+	}
+	if got := c.Installer.seqs.liveEntries(); got != len(seqHandles) {
+		return rep, fmt.Errorf("core: route pool has %d live entries, shortcuts reference %d", got, len(seqHandles))
 	}
 
 	// Allocator safety: free lists hold no duplicates, nothing live, and
 	// nothing beyond the high-water mark.
-	for bs, free := range c.freeUEIDs {
+	for bsi, free := range c.freeUEIDs {
+		bs := packet.BSID(bsi)
 		seen := make(map[packet.UEID]bool, len(free))
 		for _, id := range free {
 			if seen[id] {
@@ -164,6 +252,16 @@ func (c *Controller) CheckInvariants() (InvariantReport, error) {
 			if loc, live := liveIDs[stationID{bs, id}]; live {
 				return rep, fmt.Errorf("core: UE ID %d at station %d is both free and live (%s)", id, bs, loc)
 			}
+		}
+	}
+
+	// Path-record arena accounting: live records plus free slots cover the
+	// arena exactly.
+	if !c.Installer.Opts.DiscardPathRecords {
+		a := &c.Installer.arena
+		if len(c.Installer.paths)+len(a.free) != int(a.next) {
+			return rep, fmt.Errorf("core: path arena leak: %d live + %d free != %d allocated",
+				len(c.Installer.paths), len(a.free), a.next)
 		}
 	}
 
@@ -228,7 +326,7 @@ func (c *Controller) CheckInvariants() (InvariantReport, error) {
 	// access switch (shortcut) or the origin's (triangle via the tunnels).
 	for loc, rsv := range c.reservations {
 		originBS, _, _ := c.plan.Split(loc)
-		ue := c.ues[rsv.imsi]
+		ue, _, _ := c.ues.get(rsv.imsi)
 		allowed := map[topo.NodeID]bool{}
 		if st, ok := c.T.Station(originBS); ok {
 			allowed[st.Access] = true
@@ -238,8 +336,8 @@ func (c *Controller) CheckInvariants() (InvariantReport, error) {
 		// traffic must drain at the origin (its shortcuts came down with
 		// Detach).
 		curAccess := topo.None
-		if ue.LocIP != 0 {
-			if st, ok := c.T.Station(ue.BS); ok {
+		if ue.locIP != 0 {
+			if st, ok := c.T.Station(ue.bs); ok {
 				curAccess = st.Access
 				allowed[st.Access] = true
 			}
@@ -293,10 +391,13 @@ func (c *Controller) CheckInvariants() (InvariantReport, error) {
 func (c *Controller) UEs() []UE {
 	c.ueMu.RLock()
 	defer c.ueMu.RUnlock()
-	out := make([]UE, 0, len(c.ues))
-	for _, ue := range c.ues {
-		out = append(out, *ue)
-	}
+	out := make([]UE, 0, c.ues.live)
+	c.ues.forEach(func(_ uint32, r *ueRecord) bool {
+		if r.flags&ueHasRecord != 0 {
+			out = append(out, c.ueViewLocked(r))
+		}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].IMSI < out[j].IMSI })
 	return out
 }

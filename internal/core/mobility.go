@@ -71,6 +71,15 @@ type Shortcut struct {
 	BranchMB topo.MBInstanceID // last middlebox at Route[0]; NoMB when none
 	PathTags []packet.Tag      // the path's segment tags matched at the branch
 	Delivery packet.Tag        // the access-side tag rewritten onto the flow
+
+	// routeH is the installer's intern-pool reference for Route (DESIGN.md
+	// §14): shortcut routes are drawn from the small set of descend routes,
+	// so Route aliases the pool's canonical slice instead of a private copy.
+	// Zeroed when RemoveShortcut drops the reference (making a second remove
+	// of the same shortcut object safe, as the release paths require).
+	routeH seqHandle
+	// tag1 backs PathTags inline for the single-tag (loop-free path) case.
+	tag1 [1]packet.Tag
 }
 
 // InstallShortcut installs downstream /32 overrides for loc along route,
@@ -106,9 +115,15 @@ func (in *Installer) InstallShortcut(loc packet.Addr, route []topo.NodeID, branc
 		rules += in.fibs[route[i]].insertMobilityNoAgg(Down, delivery, loc, ToNode(route[i+1]))
 	}
 	in.stats.Rules += rules
-	return &Shortcut{Loc: loc, Route: append([]topo.NodeID(nil), route...),
-		BranchMB: branchMB, PathTags: append([]packet.Tag(nil), pathTags...),
-		Delivery: delivery}, rules, nil
+	h, canon := in.seqs.acquire(route)
+	sc := &Shortcut{Loc: loc, Route: canon, BranchMB: branchMB, Delivery: delivery, routeH: h}
+	if len(pathTags) == 1 {
+		sc.tag1[0] = pathTags[0]
+		sc.PathTags = sc.tag1[:1:1]
+	} else {
+		sc.PathTags = append([]packet.Tag(nil), pathTags...)
+	}
+	return sc, rules, nil
 }
 
 // RemoveShortcut tears a shortcut down (the soft-timeout expiry).
@@ -129,6 +144,13 @@ func (in *Installer) RemoveShortcut(sc *Shortcut) int {
 		}
 	}
 	in.stats.Rules -= removed
+	// Drop the route's intern reference exactly once; the canonical Route
+	// slice stays readable (the pool never reuses backing arrays), so a
+	// caller holding the shortcut after removal sees stable data.
+	if sc.routeH != 0 {
+		in.seqs.release(sc.routeH)
+		sc.routeH = 0
+	}
 	return removed
 }
 
@@ -206,8 +228,8 @@ type HandoffResult struct {
 func (c *Controller) Handoff(imsi string, newBS packet.BSID) (HandoffResult, error) {
 	c.ueMu.Lock()
 	defer c.ueMu.Unlock()
-	ue, ok := c.ues[imsi]
-	if !ok || ue.LocIP == 0 {
+	r, slot, ok := c.ues.get(imsi)
+	if !ok || r.flags&ueHasRecord == 0 || r.locIP == 0 {
 		return HandoffResult{}, fmt.Errorf("core: UE %q is not attached", imsi)
 	}
 	newStation, ok := c.T.Station(newBS)
@@ -217,10 +239,10 @@ func (c *Controller) Handoff(imsi string, newBS packet.BSID) (HandoffResult, err
 	if !c.ownsLocked(newBS) {
 		return HandoffResult{}, fmt.Errorf("core: handoff to base station %d: %w", newBS, ErrNotOwned)
 	}
-	if ue.BS == newBS {
+	if r.bs == newBS {
 		return HandoffResult{}, fmt.Errorf("core: UE %q already at base station %d", imsi, newBS)
 	}
-	oldBS, oldLoc := ue.BS, ue.LocIP
+	oldBS, oldLoc := r.bs, r.locIP
 
 	c.allocMu.Lock()
 	id, loc, err := c.allocLocIP(newBS)
@@ -228,16 +250,17 @@ func (c *Controller) Handoff(imsi string, newBS packet.BSID) (HandoffResult, err
 	if err != nil {
 		return HandoffResult{}, err
 	}
-	// The old LocIP stays mapped to this UE (reserved) for old flows.
-	ue.BS, ue.UEID, ue.LocIP = newBS, id, loc
-	c.byLoc[loc] = imsi
+	// The old LocIP stays indexed to this UE's slot (reserved) for old
+	// flows; only the new address is added.
+	r.bs, r.ueid, r.locIP = newBS, id, loc
+	c.ues.locIdx.insert(loc, slot)
 	c.handoffs.Add(1)
-	if err := c.persistUELocked(ue); err != nil {
+	if err := c.persistUELocked(r); err != nil {
 		return HandoffResult{}, err
 	}
 
-	res := HandoffResult{UE: *ue, OldBS: oldBS, OldLocIP: oldLoc,
-		Classifiers: c.classifiersLocked(ue)}
+	res := HandoffResult{UE: c.ueViewLocked(r), OldBS: oldBS, OldLocIP: oldLoc,
+		Classifiers: c.classifiersLocked(r)}
 
 	// Reserve the vacated address and (re)target every reserved LocIP of
 	// this UE — including ones from earlier, still-unreleased handoffs — at
@@ -245,7 +268,7 @@ func (c *Controller) Handoff(imsi string, newBS packet.BSID) (HandoffResult, err
 	// station the UE has already left. Retargeting rewires switch rules, so
 	// it nests the rule-table lock inside the UE lock (the documented
 	// order).
-	c.reservations[oldLoc] = &reservation{imsi: imsi}
+	c.reservations[oldLoc] = &reservation{imsi: r.imsi}
 	c.ruleMu.Lock()
 	res.Shortcuts = c.retargetReservationsLocked(imsi, newStation.Access)
 	c.ruleMu.Unlock()
@@ -327,11 +350,12 @@ func (c *Controller) ReleaseOldLocIP(oldLoc packet.Addr, shortcuts []*Shortcut) 
 		return
 	}
 	if bs, id, ok := c.plan.Split(oldLoc); ok {
-		if imsi, held := c.byLoc[oldLoc]; !held || c.ues[imsi] == nil || c.ues[imsi].LocIP != oldLoc {
+		slot, held := c.ues.locIdx.lookup(oldLoc)
+		if !held || c.ues.rec(slot).locIP != oldLoc {
 			c.allocMu.Lock()
-			c.freeUEIDs[bs] = append(c.freeUEIDs[bs], id)
+			c.freeUEIDLocked(bs, id)
 			c.allocMu.Unlock()
-			delete(c.byLoc, oldLoc)
+			c.ues.locIdx.delete(oldLoc)
 		}
 	}
 }

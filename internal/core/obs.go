@@ -25,6 +25,16 @@ type coreObs struct {
 	// install path (one in eight slow requests measures).
 	ruleWait *obs.Histogram
 
+	// Memory-layout gauges (DESIGN.md §14), refreshed by each
+	// Controller.MemStats call.
+	memUEs        *obs.Gauge
+	memAttached   *obs.Gauge
+	memSlabBytes  *obs.Gauge
+	memFreeSlots  *obs.Gauge
+	memAttrs      *obs.Gauge
+	memAttrHitPct *obs.Gauge
+	memPathBytes  *obs.Gauge
+
 	// Trace events: path install, tag publish/evict, handoff phases.
 	evInstall  *obs.EventType
 	evTagPub   *obs.EventType
@@ -62,6 +72,13 @@ func newCoreObs(reg *obs.Registry) coreObs {
 		rulesSaved: reg.Counter("core.rules.saved"),
 		ruleWait: reg.Histogram("core.lock.rule_wait_ns",
 			1000, 10000, 100000, 1000000, 10000000),
+		memUEs:        reg.Gauge("core.mem.ue_records"),
+		memAttached:   reg.Gauge("core.mem.attached"),
+		memSlabBytes:  reg.Gauge("core.mem.table_bytes"),
+		memFreeSlots:  reg.Gauge("core.mem.free_slots"),
+		memAttrs:      reg.Gauge("core.mem.interned_attrs"),
+		memAttrHitPct: reg.Gauge("core.mem.attr_hit_pct"),
+		memPathBytes:  reg.Gauge("core.mem.path_arena_bytes"),
 		evInstall:  reg.EventType("core.path.install", "bs", "clause", "tag", "rules"),
 		evTagPub:   reg.EventType("core.tag.publish", "bs", "clause", "tag"),
 		evTagEvict: reg.EventType("core.tag.evict", "bs", "dropped"),

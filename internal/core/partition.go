@@ -149,14 +149,14 @@ func (c *Controller) ExtractUE(imsi string) (MigratedUE, error) {
 	defer c.allocMu.Unlock()
 	c.ruleMu.Lock()
 	defer c.ruleMu.Unlock()
-	ue, ok := c.ues[imsi]
-	if !ok {
+	r, slot, ok := c.ues.get(imsi)
+	if !ok || r.flags&ueHasRecord == 0 {
 		return MigratedUE{}, fmt.Errorf("core: unknown UE %q", imsi)
 	}
-	m := MigratedUE{IMSI: imsi, Attr: ue.Attr, PermIP: ue.PermIP, OldBS: ue.BS, OldLocIP: ue.LocIP}
-	if ue.LocIP != 0 {
-		delete(c.byLoc, ue.LocIP)
-		c.freeUEIDs[ue.BS] = append(c.freeUEIDs[ue.BS], ue.UEID)
+	m := MigratedUE{IMSI: imsi, Attr: c.attrs.attrOf(r.attr), PermIP: r.permIP, OldBS: r.bs, OldLocIP: r.locIP}
+	if r.locIP != 0 {
+		c.ues.locIdx.delete(r.locIP)
+		c.freeUEIDLocked(r.bs, r.ueid)
 	}
 	for loc, rsv := range c.reservations {
 		if rsv.imsi != imsi {
@@ -166,16 +166,25 @@ func (c *Controller) ExtractUE(imsi string) (MigratedUE, error) {
 			c.Installer.RemoveShortcut(sc)
 		}
 		delete(c.reservations, loc)
-		// The reserved address is still mapped to this UE in byLoc (Handoff
-		// keeps it there for in-flight downstream flows); drop the mapping or
-		// it would dangle after the record below is deleted.
-		delete(c.byLoc, loc)
+		// The reserved address is still indexed to this UE's slot (Handoff
+		// keeps it there for in-flight downstream flows); drop the entry or
+		// it would dangle after the record below is cleared.
+		c.ues.locIdx.delete(loc)
 		if bs, id, ok := c.plan.Split(loc); ok {
-			c.freeUEIDs[bs] = append(c.freeUEIDs[bs], id)
+			c.freeUEIDLocked(bs, id)
 		}
 	}
-	delete(c.byPerm, ue.PermIP)
-	delete(c.ues, imsi)
+	c.ues.permIdx.delete(r.permIP)
+	// Clear the UE half of the record; the subscriber half (if registered)
+	// stays, exactly as the old layout kept the subscriber map entry. A
+	// record playing no role at all returns its slot to the free list.
+	c.attrs.release(r.attr)
+	r.attr = 0
+	r.permIP, r.locIP, r.bs, r.ueid = 0, 0, 0, 0
+	r.flags &^= ueHasRecord
+	if r.flags == 0 {
+		c.ues.freeRec(slot)
+	}
 	c.invalidateStationLocked(m.OldBS)
 	if _, err := c.Store.Delete("ue/" + imsi); err != nil {
 		return MigratedUE{}, err
@@ -197,11 +206,16 @@ func (c *Controller) AdoptUE(m MigratedUE, bs packet.BSID) (UE, []Classifier, er
 	if !c.ownsLocked(bs) {
 		return UE{}, nil, fmt.Errorf("core: adopt at base station %d: %w", bs, ErrNotOwned)
 	}
-	if _, exists := c.ues[m.IMSI]; exists {
+	r, slot, ok := c.ues.get(m.IMSI)
+	if ok && r.flags&ueHasRecord != 0 {
 		return UE{}, nil, fmt.Errorf("core: UE %q already present", m.IMSI)
 	}
-	if _, ok := c.subscribers[m.IMSI]; !ok {
-		c.subscribers[m.IMSI] = m.Attr
+	if !ok {
+		r, slot = c.ues.alloc(m.IMSI)
+	}
+	if r.flags&ueRegistered == 0 {
+		r.subAttr = c.attrs.acquire(m.Attr, c.Policy)
+		r.flags |= ueRegistered
 	}
 	c.allocMu.Lock()
 	id, loc, err := c.allocLocIP(bs)
@@ -209,15 +223,19 @@ func (c *Controller) AdoptUE(m MigratedUE, bs packet.BSID) (UE, []Classifier, er
 	if err != nil {
 		return UE{}, nil, err
 	}
-	ue := &UE{IMSI: m.IMSI, Attr: m.Attr, PermIP: m.PermIP, BS: bs, UEID: id, LocIP: loc}
-	c.ues[m.IMSI] = ue
-	c.byPerm[m.PermIP] = m.IMSI
-	c.byLoc[loc] = m.IMSI
+	// The migrated record's attributes travel with it, even when they differ
+	// from a pre-existing local subscriber record.
+	r.flags |= ueHasRecord
+	r.attr = c.attrs.acquire(m.Attr, c.Policy)
+	r.permIP = m.PermIP
+	r.bs, r.ueid, r.locIP = bs, id, loc
+	c.ues.permIdx.insert(m.PermIP, slot)
+	c.ues.locIdx.insert(loc, slot)
 	c.handoffs.Add(1)
-	if err := c.persistUELocked(ue); err != nil {
+	if err := c.persistUELocked(r); err != nil {
 		return UE{}, nil, err
 	}
-	return *ue, c.classifiersLocked(ue), nil
+	return c.ueViewLocked(r), c.classifiersLocked(r), nil
 }
 
 // AbsorbStation extends the controller's ownership to bs and imports the
@@ -241,25 +259,32 @@ func (c *Controller) AbsorbStation(bs packet.BSID, ues []UE) error {
 	c.ruleMu.Unlock()
 	c.allocMu.Lock()
 	defer c.allocMu.Unlock()
+	c.ensureBSLocked(bs)
 	for _, u := range ues {
 		if u.LocIP == 0 || u.UEID == 0 {
 			continue // detached record: nothing to rebuild
 		}
-		ue, ok := c.ues[u.IMSI]
+		r, slot, ok := c.ues.get(u.IMSI)
 		if !ok {
-			ue = &UE{IMSI: u.IMSI, Attr: u.Attr, PermIP: u.PermIP}
-			c.ues[u.IMSI] = ue
+			r, slot = c.ues.alloc(u.IMSI)
 		}
-		if _, ok := c.subscribers[u.IMSI]; !ok {
-			c.subscribers[u.IMSI] = u.Attr
+		if r.flags&ueHasRecord == 0 {
+			r.flags |= ueHasRecord
+			c.attrs.release(r.attr)
+			r.attr = c.attrs.acquire(u.Attr, c.Policy)
+			r.permIP = u.PermIP
 		}
-		ue.BS, ue.UEID, ue.LocIP = bs, u.UEID, u.LocIP
-		c.byLoc[u.LocIP] = u.IMSI
-		c.byPerm[ue.PermIP] = u.IMSI
+		if r.flags&ueRegistered == 0 {
+			r.flags |= ueRegistered
+			r.subAttr = c.attrs.acquire(u.Attr, c.Policy)
+		}
+		r.bs, r.ueid, r.locIP = bs, u.UEID, u.LocIP
+		c.ues.locIdx.insert(u.LocIP, slot)
+		c.ues.permIdx.insert(r.permIP, slot)
 		if u.UEID > c.nextUEID[bs] {
 			c.nextUEID[bs] = u.UEID
 		}
-		if err := c.persistUELocked(ue); err != nil {
+		if err := c.persistUELocked(r); err != nil {
 			return err
 		}
 	}

@@ -159,10 +159,11 @@ func DefaultRules() *Rules {
 			"repro/internal/cbench": {
 				"repro/internal/agent", "repro/internal/core",
 				"repro/internal/ctrlproto", "repro/internal/dataplane",
-				"repro/internal/mbox", "repro/internal/obs",
-				"repro/internal/packet", "repro/internal/policy",
-				"repro/internal/shard", "repro/internal/switchsim",
-				"repro/internal/topo",
+				"repro/internal/mbox", "repro/internal/metrics",
+				"repro/internal/obs", "repro/internal/packet",
+				"repro/internal/policy", "repro/internal/shard",
+				"repro/internal/switchsim", "repro/internal/topo",
+				"repro/internal/workload",
 			},
 		},
 		Construct: []ConstructRule{

@@ -203,6 +203,22 @@ func (d *Dispatcher) ShardOf(bs packet.BSID) (*Shard, error) {
 	return d.shards[id], nil
 }
 
+// MemStats aggregates every live shard's controller memory accounting
+// into one fleet-wide snapshot (core.MemStats.Add). Down shards are
+// skipped: their slabs are unreachable and awaiting collection, not part
+// of the serving footprint. Each per-shard snapshot also refreshes that
+// shard's core.mem.* gauges as a side effect.
+func (d *Dispatcher) MemStats() core.MemStats {
+	var ms core.MemStats
+	for _, s := range d.shards {
+		if s.Down() {
+			continue
+		}
+		ms.Add(s.Ctrl.MemStats())
+	}
+	return ms
+}
+
 // Served reports per-shard completed-request counts, indexed by shard id.
 func (d *Dispatcher) Served() []uint64 {
 	out := make([]uint64, len(d.shards))

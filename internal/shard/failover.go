@@ -1,7 +1,6 @@
 package shard
 
 import (
-	"encoding/json"
 	"fmt"
 
 	"repro/internal/core"
@@ -40,8 +39,8 @@ func salvageUEs(st *store.Store) (map[string]core.UE, error) {
 		if !ok {
 			continue
 		}
-		var ue core.UE
-		if err := json.Unmarshal(entry.Value, &ue); err != nil {
+		ue, err := core.DecodeUERecord(entry.Value)
+		if err != nil {
 			return nil, fmt.Errorf("shard: corrupt store record %q: %w", key, err)
 		}
 		out[ue.IMSI] = ue

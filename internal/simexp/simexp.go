@@ -188,6 +188,10 @@ func Run(p Params) (Result, error) {
 		DownstreamOnly:        !p.BothDirections,
 		SkipAccessSwitchRules: !p.CountAccessSwitches,
 		DiscardPathRecords:    true,
+		// Rule-counting methodology: table sizes are the measured quantity,
+		// so tag allocation is not bounded by the plan's encodable space
+		// (the fresh-tag-per-path ablation alone exceeds any TagBits).
+		UnboundedTags: true,
 	})
 	if err != nil {
 		return Result{}, err

@@ -65,7 +65,12 @@ func (r *Replica) Keys(prefix string) []string {
 	return out
 }
 
-// apply installs one committed write.
+// apply installs one committed write. The value is owned by the commit:
+// the coordinator copies the caller's bytes once and every replica stores
+// that same immutable slice, so a fleet-wide write costs one allocation,
+// not one per replica. Entries are never mutated in place (a new version
+// is a new commit), which is what makes the sharing safe — the same
+// property snapshot/load already relied on.
 func (r *Replica) apply(seq uint64, key string, value []byte, del bool) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -75,8 +80,7 @@ func (r *Replica) apply(seq uint64, key string, value []byte, del bool) error {
 	if del {
 		delete(r.data, key)
 	} else {
-		cp := append([]byte(nil), value...)
-		r.data[key] = Entry{Value: cp, Version: seq}
+		r.data[key] = Entry{Value: value, Version: seq}
 	}
 	r.applied = seq
 	return nil
@@ -152,12 +156,19 @@ func (s *Store) commit(key string, value []byte, del bool) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
-	if err := s.primary.apply(s.seq, key, value, del); err != nil {
+	// One defensive copy per commit, shared by the primary and every
+	// replica (see Replica.apply). Callers routinely pass a reused
+	// encoding buffer, so the copy itself is mandatory.
+	var cp []byte
+	if !del {
+		cp = append([]byte(nil), value...)
+	}
+	if err := s.primary.apply(s.seq, key, cp, del); err != nil {
 		s.seq--
 		return 0, err
 	}
 	for _, r := range s.replicas {
-		if err := r.apply(s.seq, key, value, del); err != nil {
+		if err := r.apply(s.seq, key, cp, del); err != nil {
 			// A replica that cannot apply is out of sync: resynchronise it
 			// from the primary rather than failing the write.
 			snap, applied := s.primary.snapshot()

@@ -1,0 +1,121 @@
+package workload
+
+import "math/rand"
+
+// This file exposes the §6.1 generator as an *event stream* instead of an
+// aggregate simulation: the same seeded model (diurnal curve, station
+// popularity weights, Poisson arrival/handoff/departure/bearer processes),
+// but emitting the concrete per-second events so a live control plane can
+// be driven by them. Generate and Stream share every model constant; a
+// Stream with the same Params draws the same processes.
+
+// SecondEvents is one simulated second of workload, with stations named by
+// dense index (the city benchmark maps index i to base-station ID i).
+// Slices are reused across Next calls — consume before the next call.
+type SecondEvents struct {
+	Sec  int     // simulated second since the stream started
+	Load float64 // diurnal load factor in (0, 1]
+
+	// Arrivals holds the station index of each UE arrival this second.
+	Arrivals []int
+	// Handoffs holds [src, dst] station-index pairs; the model moves one
+	// active UE from src to its ring neighbour dst.
+	Handoffs [][2]int
+	// Departures holds the station index of each session end this second.
+	Departures []int
+	// Bearers[bs] is the number of radio-bearer arrivals at station bs
+	// this second (each is one path/classifier request).
+	Bearers []int
+}
+
+// Stream drives the workload model one simulated second at a time.
+type Stream struct {
+	p      Params
+	rng    *rand.Rand
+	smp    *sampler
+	active []int
+	sec    int
+	ev     SecondEvents
+}
+
+// NewStream builds a stream with the same defaults and seeded processes as
+// Generate. The model's station populations start empty; call
+// InitialPopulation to pre-populate to the diurnal steady state (and attach
+// the same UEs in the system under test).
+func NewStream(p Params) *Stream {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	s := &Stream{p: p, rng: rng, active: make([]int, p.Stations)}
+	s.smp = newSampler(stationWeights(p.Stations, p.SkewSigma, rng))
+	s.ev.Bearers = make([]int, p.Stations)
+	return s
+}
+
+// Params returns the stream's effective (default-filled) parameters.
+func (s *Stream) Params() Params { return s.p }
+
+// InitialPopulation draws the warm-up population — the station index of
+// each UE active at t=0, sized to the diurnal steady state — and installs
+// it in the model. Call at most once, before the first Next.
+func (s *Stream) InitialPopulation() []int {
+	mean := int(s.p.PeakArrivalsPerSec * diurnal(s.p.StartSecond) * s.p.MeanSessionSeconds)
+	out := make([]int, mean)
+	for i := range out {
+		bs := s.smp.draw(s.rng)
+		s.active[bs]++
+		out[i] = bs
+	}
+	return out
+}
+
+// Active reports the model's current active-UE count at a station.
+func (s *Stream) Active(bs int) int { return s.active[bs] }
+
+// Next advances the model one simulated second and returns its events.
+// The returned struct (and its slices) are reused by the following call.
+func (s *Stream) Next() *SecondEvents {
+	ev := &s.ev
+	ev.Sec = s.sec
+	load := diurnal(s.p.StartSecond + s.sec)
+	ev.Load = load
+	ev.Arrivals = ev.Arrivals[:0]
+	ev.Handoffs = ev.Handoffs[:0]
+	ev.Departures = ev.Departures[:0]
+
+	nArr := poisson(s.rng, s.p.PeakArrivalsPerSec*load)
+	for i := 0; i < nArr; i++ {
+		bs := s.smp.draw(s.rng)
+		s.active[bs]++
+		ev.Arrivals = append(ev.Arrivals, bs)
+	}
+
+	nHO := poisson(s.rng, s.p.PeakHandoffsPerSec*load)
+	for i := 0; i < nHO; i++ {
+		src := s.smp.draw(s.rng)
+		if s.active[src] == 0 {
+			continue
+		}
+		dst := (src + 1) % s.p.Stations
+		s.active[src]--
+		s.active[dst]++
+		ev.Handoffs = append(ev.Handoffs, [2]int{src, dst})
+	}
+
+	pDep := 1 / s.p.MeanSessionSeconds
+	for bs := 0; bs < s.p.Stations; bs++ {
+		if a := s.active[bs]; a > 0 {
+			dep := poisson(s.rng, float64(a)*pDep)
+			if dep > a {
+				dep = a
+			}
+			s.active[bs] = a - dep
+			for i := 0; i < dep; i++ {
+				ev.Departures = append(ev.Departures, bs)
+			}
+		}
+		ev.Bearers[bs] = poisson(s.rng, float64(s.active[bs])*s.p.BearersPerUESec*load)
+	}
+
+	s.sec++
+	return ev
+}
