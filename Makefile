@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint fuzz verify bench bench-shards bench-dataplane bench-city city-smoke profile clean chaos cover
+.PHONY: all build test race vet lint fuzz verify bench bench-shards bench-dataplane bench-city city-smoke blackout-smoke profile clean chaos cover
 
 all: verify
 
@@ -69,6 +69,7 @@ verify:
 	$(GO) test -race ./...
 	$(MAKE) cover
 	$(MAKE) city-smoke
+	$(MAKE) blackout-smoke
 
 # city-smoke is bench-city shrunk to CI scale: same code path end to end,
 # seconds instead of minutes. The report lands next to the full soak's so
@@ -76,6 +77,16 @@ verify:
 city-smoke:
 	$(GO) run ./cmd/softcell-bench -mode city -stations 48 -ues 20000 -shards 2 \
 		-sim-seconds 30 -legacy-sample 20000 -json results/BENCH_city_smoke.json
+
+# blackout-smoke is the agent-survivability gate (DESIGN.md §15): the
+# control plane goes dark for 30 sim-seconds under live traffic, and the
+# run fails on any verdict flip, dropped microflow, accepted stale
+# snapshot, or reconciliation divergence. The -race half of the same
+# invariant runs in tier-1 as TestBlackoutContinuity; this target produces
+# the CI artifact.
+blackout-smoke:
+	$(GO) run ./cmd/softcell-bench -mode blackout -seed 1 -outage-ticks 30000 \
+		-json results/BENCH_blackout.json
 
 # bench regenerates the committed controller sweep (§6.2): human-readable
 # table on stdout, machine-readable results/BENCH_controller.json on disk.

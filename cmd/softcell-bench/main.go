@@ -8,6 +8,7 @@
 //	softcell-bench -mode agent             # Table 2
 //	softcell-bench -mode shards            # sharded-dispatcher scaling sweep
 //	softcell-bench -mode chaos             # seeded fault-injection soak
+//	softcell-bench -mode blackout          # control-plane blackout continuity soak
 //	softcell-bench -mode dataplane         # forwarding-plane packets/s sweep
 //	softcell-bench -mode city              # city-scale 1M-UE memory/churn soak
 package main
@@ -92,6 +93,19 @@ type chaosReport struct {
 	Obs          obs.Snapshot      `json:"obs"`
 }
 
+// blackoutReport is the BENCH_blackout.json schema: the continuity result,
+// wall-clock forwarding throughput sustained while the control plane was
+// dark, and the registry snapshot.
+type blackoutReport struct {
+	Seed                 int64                `json:"seed"`
+	Result               chaos.BlackoutResult `json:"result"`
+	WallMS               int64                `json:"wall_ms"`
+	OutageForwardPerSec  float64              `json:"outage_forward_per_sec"`
+	OutageNewFlowsPerSec float64              `json:"outage_new_flows_per_sec"`
+	GOMAXPROCS           int                  `json:"gomaxprocs"`
+	Obs                  obs.Snapshot         `json:"obs"`
+}
+
 // cityReport is the BENCH_city.json schema: the soak result plus the host
 // shape and the telemetry snapshot.
 type cityReport struct {
@@ -116,7 +130,7 @@ func writeJSON(path string, v any) {
 
 func main() {
 	var (
-		mode     = flag.String("mode", "controller", "controller | agent | shards | chaos | dataplane | city")
+		mode     = flag.String("mode", "controller", "controller | agent | shards | chaos | blackout | dataplane | city")
 		flows    = flag.Int("flows", 64, "dataplane: warmed flows the generators cycle through")
 		reps     = flag.Int("reps", 2, "dataplane: measurements per point (best is reported)")
 		agents   = flag.Int("agents", 16, "emulated agent connections")
@@ -135,7 +149,8 @@ func main() {
 		simSecs  = flag.Int("sim-seconds", 300, "city: minimum simulated workload seconds to soak")
 		soakWall = flag.Duration("soak", 0, "city: keep soaking until this much wall clock has elapsed")
 		legacyN  = flag.Int("legacy-sample", 100000, "city: UEs for the pre-compaction baseline emulation (negative skips)")
-		cluster  = flag.Int("cluster", 4, "chaos: base stations per pod cluster")
+		cluster  = flag.Int("cluster", 4, "chaos, blackout: base stations per pod cluster")
+		outage   = flag.Int("outage-ticks", 30000, "blackout: outage length in 1ms sim ticks")
 		wireRate = flag.Float64("wire-fault-rate", 0.25, "chaos: per-frame fault probability (negative disables)")
 		mixWork  = flag.Int("mix-workload", 0, "chaos: workload weight (0 = default)")
 		mixSw    = flag.Int("mix-switch", 0, "chaos: switch fail/recover weight (0 = default)")
@@ -359,6 +374,67 @@ which regime this file was produced in.
 			}
 			if wall > 0 {
 				rep.EventsPerSec = float64(res.Events) / wall.Seconds()
+			}
+			writeJSON(*jsonOut, rep)
+		}
+	case "blackout":
+		var trace io.Writer
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			trace = f
+		}
+		cfg := chaos.BlackoutConfig{
+			Seed:        *seed,
+			OutageTicks: *outage,
+			ClusterSize: *cluster,
+			Trace:       trace,
+		}
+		if setFlags["shards"] {
+			cfg.Shards = *shards
+		}
+		if setFlags["ues"] {
+			cfg.UEs = *ues
+		}
+		reg := obs.New()
+		cfg.Obs = reg
+		fmt.Printf("blackout soak: seed=%d outage=%d sim-ms GOMAXPROCS=%d\n",
+			*seed, *outage, runtime.GOMAXPROCS(0))
+		start := time.Now()
+		res, err := chaos.RunBlackout(cfg)
+		wall := time.Since(start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blackout: CONTINUITY VIOLATION:", err)
+			fmt.Fprintf(os.Stderr, "reproduce with: softcell-bench -mode blackout -seed %d -outage-ticks %d -trace trace.log\n", *seed, *outage)
+			os.Exit(1)
+		}
+		tab := metrics.NewTable("quantity", "value")
+		tab.AddRow("stations / admitted UEs", fmt.Sprintf("%d / %d", res.Stations, res.Admitted))
+		tab.AddRow("outage length", fmt.Sprintf("%d sim-ms", res.OutageTicks))
+		tab.AddRow("probes while dark", res.OutageProbes)
+		tab.AddRow("forwarded while dark", res.OutageForward)
+		tab.AddRow("new flows while dark", res.OutageNewFlows)
+		tab.AddRow("verdict flips", fmt.Sprintf("%d (invariant: 0)", res.VerdictFlips))
+		tab.AddRow("policy churns injected", res.PolicyChurns)
+		tab.AddRow("reconcile kept/replayed/torndown", fmt.Sprintf("%d / %d / %d", res.Kept, res.Replayed, res.TornDown))
+		tab.AddRow("stale snapshots refused", res.StaleRejected)
+		tab.AddRow("converged", res.Converged)
+		fmt.Print(tab)
+		fmt.Printf("\n%d probe packets forwarded on last-known-good state across a %d sim-ms\n",
+			res.OutageForward, res.OutageTicks)
+		fmt.Println("control-plane blackout with zero verdict flips; reconciliation converged.")
+		if *jsonOut != "" {
+			rep := blackoutReport{
+				Seed: *seed, Result: res, WallMS: wall.Milliseconds(),
+				GOMAXPROCS: runtime.GOMAXPROCS(0), Obs: reg.Snapshot(),
+			}
+			if wall > 0 {
+				rep.OutageForwardPerSec = float64(res.OutageForward) / wall.Seconds()
+				rep.OutageNewFlowsPerSec = float64(res.OutageNewFlows) / wall.Seconds()
 			}
 			writeJSON(*jsonOut, rep)
 		}

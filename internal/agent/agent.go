@@ -1,15 +1,18 @@
 // Package agent implements SoftCell's local control agent (§4.2): the
 // software controller co-located with each base station's access switch. It
-// caches per-UE packet classifiers at the behest of the central controller,
-// installs microflow rules for new flows, and only contacts the controller
-// when a flow needs a policy path that does not exist yet — the hierarchy
-// that keeps tens of thousands of flow arrivals per second off the central
-// controller.
+// classifies new flows against an immutable, versioned snapshot of per-UE
+// classifiers and admitted policy tags — last-known-good state the data
+// plane keeps using through controller outages — installs microflow rules,
+// and only contacts the controller when a flow needs a policy path the
+// snapshot does not carry yet (and even that falls away in the
+// pushed-snapshot deployment shape, where the controller publishes fresh
+// snapshots asynchronously instead of answering blocking RPCs).
 package agent
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/packet"
@@ -17,9 +20,12 @@ import (
 	"repro/internal/switchsim"
 )
 
-// ControllerClient is the slice of the central controller an agent needs.
-// core.Controller implements it in-process; internal/ctrlproto implements it
-// over the wire.
+// ControllerClient is the slice of the central controller an agent needs
+// for synchronous path resolution. core.Controller implements it
+// in-process; internal/ctrlproto implements it over the wire. A nil client
+// puts the agent in pushed-snapshot mode: packet-ins never block on the
+// control plane, and a clause with no admitted tag fails with ErrNoPath
+// until a fresh snapshot arrives.
 type ControllerClient interface {
 	RequestPath(bs packet.BSID, clause int) (packet.Tag, error)
 }
@@ -32,29 +38,54 @@ type LocResolver interface {
 	ResolveLocIP(perm packet.Addr) (packet.Addr, error)
 }
 
-// flowState records one active upstream microflow for a UE.
+// flowState records one active upstream microflow for a UE, with the
+// policy coordinates reconciliation needs to replay or tear it down when a
+// newer snapshot changes the clause's tag.
 type flowState struct {
 	orig      packet.FlowKey // as sent by the UE (permanent IP)
 	rewritten packet.FlowKey // as it travels the core (LocIP + tag port)
+	clause    int
+	tag       packet.Tag // 0 for M2M location-routed flows
+	qos       policy.QoS
 }
 
-// ueState is the agent's cached state for one attached UE. Per §5.2 it is
-// read-mostly: only the central controller changes classifiers.
-type ueState struct {
-	ue          core.UE
-	classifiers map[policy.AppType]core.Classifier
-	flows       map[packet.FlowKey]flowState // keyed by orig
-	nextEph     uint16
+// ueFlows is the mutable per-UE flow book: soft state owned by this agent
+// (unlike classifiers, which live in the immutable snapshot) and dropped on
+// Restart — the microflows themselves survive in the switch.
+type ueFlows struct {
+	flows   map[packet.FlowKey]flowState // keyed by orig
+	nextEph uint16
 }
 
-// Stats count the agent's control-plane activity; Table 2's benchmark reads
-// them.
+// Stats count the agent's control-plane activity; Table 2's benchmark
+// reads them. All fields are monotonic and survive Restart, keeping them
+// coherent with the obs registry mirrors (which are registered
+// get-or-create and also keep counting across restarts).
 type Stats struct {
 	PacketIns  uint64 // table-miss packets handled
-	CacheHits  uint64 // flows admitted without contacting the controller
+	CacheHits  uint64 // flows admitted from the LKG snapshot alone
 	CacheMiss  uint64 // flows that required a controller round trip
 	Denied     uint64
 	Microflows uint64
+	Publishes  uint64 // snapshots accepted by Publish
+	StaleDrops uint64 // snapshots refused for stale versions (ErrStaleSnapshot)
+	Rejected   uint64 // snapshots refused by validation
+	Replayed   uint64 // flows reinstalled under a changed tag at reconcile
+	TornDown   uint64 // flows removed at reconcile (path or UE withdrawn)
+}
+
+// counters is the lock-free backing store for Stats.
+type counters struct {
+	packetIns  atomic.Uint64
+	cacheHits  atomic.Uint64
+	cacheMiss  atomic.Uint64
+	denied     atomic.Uint64
+	microflows atomic.Uint64
+	publishes  atomic.Uint64
+	staleDrops atomic.Uint64
+	rejected   atomic.Uint64
+	replayed   atomic.Uint64
+	tornDown   atomic.Uint64
 }
 
 // Agent is one base station's local controller.
@@ -71,13 +102,17 @@ type Agent struct {
 	plan packet.Plan
 	ctrl ControllerClient
 
-	mu      sync.Mutex
-	ues     map[packet.Addr]*ueState // guarded by mu; keyed by permanent IP
-	byLoc   map[packet.Addr]*ueState // guarded by mu; keyed by LocIP (incl. reserved old ones)
-	inbound map[inboundKey]struct{}  // guarded by mu; §7 public-IP bindings this station accepts
-	stats   Stats                    // guarded by mu
+	// snap is the LKG classifier state: swapped whole by Publish (pushed
+	// snapshots, CAS ordered by version) and derive (local admits). Always
+	// non-nil; classification loads it exactly once per decision.
+	snap atomic.Pointer[Snapshot]
 
-	obs agentObs // lock-free mirrors of Stats; set by Instrument
+	mu      sync.Mutex
+	flows   map[packet.Addr]*ueFlows // guarded by mu; keyed by permanent IP
+	inbound map[inboundKey]struct{}  // guarded by mu; §7 public-IP bindings this station accepts
+
+	stats counters
+	obs   agentObs // lock-free mirrors; set by Instrument
 }
 
 // inboundKey identifies an accepted Internet-initiated service binding.
@@ -86,18 +121,20 @@ type inboundKey struct {
 	tag packet.Tag
 }
 
-// New builds an agent controlling the given access switch.
+// New builds an agent controlling the given access switch. A nil ctrl is
+// valid: see ControllerClient.
 func New(bs packet.BSID, access *switchsim.Switch, plan packet.Plan, ctrl ControllerClient) *Agent {
 	access.TableMiss = switchsim.Punt() // misses go to this agent
-	return &Agent{
+	a := &Agent{
 		BS:      bs,
 		Access:  access,
 		plan:    plan,
 		ctrl:    ctrl,
-		ues:     make(map[packet.Addr]*ueState),
-		byLoc:   make(map[packet.Addr]*ueState),
+		flows:   make(map[packet.Addr]*ueFlows),
 		inbound: make(map[inboundKey]struct{}),
 	}
+	a.snap.Store(newDraft(0).seal(0)) // version 0: nothing published yet
+	return a
 }
 
 // AllowInbound registers a §7 public-IP binding: Internet-initiated flows
@@ -112,44 +149,39 @@ func (a *Agent) AllowInbound(loc packet.Addr, tag packet.Tag) {
 
 // Stats returns a snapshot of the agent counters.
 func (a *Agent) Stats() Stats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.stats
+	return Stats{
+		PacketIns:  a.stats.packetIns.Load(),
+		CacheHits:  a.stats.cacheHits.Load(),
+		CacheMiss:  a.stats.cacheMiss.Load(),
+		Denied:     a.stats.denied.Load(),
+		Microflows: a.stats.microflows.Load(),
+		Publishes:  a.stats.publishes.Load(),
+		StaleDrops: a.stats.staleDrops.Load(),
+		Rejected:   a.stats.rejected.Load(),
+		Replayed:   a.stats.replayed.Load(),
+		TornDown:   a.stats.tornDown.Load(),
+	}
 }
 
-// AdmitUE caches a UE's state and classifiers (the controller pushes these
-// on attach and handoff).
+// AdmitUE folds a UE's record and classifiers into the LKG snapshot (the
+// controller pushes these on attach and handoff) by deriving and swapping
+// in a successor snapshot.
 func (a *Agent) AdmitUE(ue core.UE, classifiers []core.Classifier) error {
 	if ue.BS != a.BS {
 		return fmt.Errorf("agent: UE %s is attached to bs%d, not bs%d", ue.IMSI, ue.BS, a.BS)
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	st := &ueState{
-		ue:          ue,
-		classifiers: make(map[policy.AppType]core.Classifier, len(classifiers)),
-		flows:       make(map[packet.FlowKey]flowState),
-	}
-	for _, c := range classifiers {
-		st.classifiers[c.App] = c
-	}
-	a.ues[ue.PermIP] = st
-	a.byLoc[ue.LocIP] = st
+	a.derive(func(d *snapshotDraft) { d.putUE(ue, classifiers) })
 	return nil
 }
 
-// UpdateClassifiers refreshes a UE's classifier cache (read-only to the
-// agent otherwise, §5.2).
+// UpdateClassifiers refreshes a UE's classifiers in the LKG snapshot. A
+// classifier carrying Tag 0 explicitly invalidates the station's admitted
+// tag for its clause, forcing the next flow back to the controller.
 func (a *Agent) UpdateClassifiers(permIP packet.Addr, classifiers []core.Classifier) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	st, ok := a.ues[permIP]
-	if !ok {
+	if _, ok := a.lkg().ues[permIP]; !ok {
 		return fmt.Errorf("agent: no UE with permanent IP %s", permIP)
 	}
-	for _, c := range classifiers {
-		st.classifiers[c.App] = c
-	}
+	a.derive(func(d *snapshotDraft) { d.mergeClassifiers(permIP, classifiers) })
 	return nil
 }
 
@@ -161,27 +193,36 @@ func classifyApp(p *packet.Packet) policy.AppType {
 	return policy.AppFromPort(p.DstPort)
 }
 
+// deny counts a policy denial and pins a drop microflow for the flow so
+// later packets die in the switch instead of punting again.
+func (a *Agent) deny(p *packet.Packet) {
+	a.stats.denied.Add(1)
+	a.obs.denied.Inc()
+	a.Access.InstallMicroflow(p.Flow(), switchsim.DropAction())
+}
+
 // HandlePacketIn processes one table-miss packet from the access switch —
-// the first packet of a new upstream flow. It classifies the flow, obtains
-// the policy tag (from the classifier cache, or from the controller when no
-// policy path exists yet), installs the two microflow rules (upstream
-// rewrite+resubmit, downstream restore+deliver), and returns the verdict
-// for this first packet.
+// the first packet of a new upstream flow. The whole decision reads one
+// atomically loaded LKG snapshot: classify, resolve the clause's tag
+// (classifier pin, then the snapshot's admitted-tag table), and install the
+// two microflow rules (upstream rewrite+resubmit, downstream
+// restore+deliver). Only a clause absent from the snapshot falls back to a
+// synchronous controller request — and only when the agent has a resolver;
+// without one it fails fast with ErrNoPath and keeps serving everything the
+// snapshot already admits, which is what lets admitted traffic ride out a
+// controller blackout.
 func (a *Agent) HandlePacketIn(p *packet.Packet) (allowed bool, err error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.stats.PacketIns++
+	snap := a.lkg()
+	a.stats.packetIns.Add(1)
 	a.obs.packetIns.Inc()
-	st, ok := a.ues[p.Src]
+	su, ok := snap.ues[p.Src]
 	if !ok {
 		return false, fmt.Errorf("agent: packet from unknown UE %s", p.Src)
 	}
 	app := classifyApp(p)
-	cl, ok := st.classifiers[app]
+	cl, ok := su.classifiers[app]
 	if !ok || !cl.Allow {
-		a.stats.Denied++
-		a.obs.denied.Inc()
-		a.Access.InstallMicroflow(p.Flow(), switchsim.DropAction())
+		a.deny(p)
 		return false, nil
 	}
 	if a.plan.Carrier.Contains(p.Dst) || a.isLocalPerm(p.Dst) {
@@ -189,26 +230,39 @@ func (a *Agent) HandlePacketIn(p *packet.Packet) (allowed bool, err error) {
 		// its LocIP and route directly by location — no tag, no gateway
 		// detour. The reply direction is set up by the peer's agent when
 		// the packet arrives there.
-		return a.handleM2M(st, p)
+		return a.handleM2M(su, p)
 	}
-	if cl.Tag == 0 {
+	tag := cl.Tag
+	if tag == 0 {
+		tag = snap.tags[cl.Clause]
+	}
+	if tag != 0 {
+		a.stats.cacheHits.Add(1)
+		a.obs.cacheHits.Inc()
+	} else {
 		// "send to controller": the policy path does not exist yet (§4.2).
-		a.stats.CacheMiss++
+		a.stats.cacheMiss.Add(1)
 		a.obs.cacheMiss.Inc()
-		tag, err := a.ctrl.RequestPath(a.BS, cl.Clause)
+		if a.ctrl == nil {
+			return false, fmt.Errorf("agent: clause %d at bs%d: %w", cl.Clause, a.BS, ErrNoPath)
+		}
+		t, err := a.ctrl.RequestPath(a.BS, cl.Clause)
 		if err != nil {
 			return false, fmt.Errorf("agent: controller refused path for clause %d: %w", cl.Clause, err)
 		}
-		cl.Tag = tag
-		st.classifiers[app] = cl
-	} else {
-		a.stats.CacheHits++
-		a.obs.cacheHits.Inc()
+		tag = t
+		// Record the admitted tag in the snapshot so later flows (and
+		// restarts) hit it without another round trip.
+		a.derive(func(d *snapshotDraft) { d.tags[cl.Clause] = t })
 	}
-	if err := a.installMicroflows(st, p.Flow(), cl.Tag, cl.QoS); err != nil {
-		return false, err
-	}
-	return true, nil
+	return true, a.installFlow(su, p.Flow(), tag, cl.Clause, cl.QoS)
+}
+
+// installFlow takes the agent lock and installs one admitted flow.
+func (a *Agent) installFlow(su *snapUE, orig packet.FlowKey, tag packet.Tag, clause int, qos policy.QoS) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.installMicroflows(su, a.flowsFor(su.ue.PermIP), orig, tag, clause, qos)
 }
 
 // isLocalPerm reports whether the destination sits in the deployment's
@@ -220,42 +274,38 @@ func (a *Agent) isLocalPerm(dst packet.Addr) bool {
 }
 
 // handleM2M installs the microflows for a carrier-internal destination.
-//
-// caller holds mu
-func (a *Agent) handleM2M(st *ueState, p *packet.Packet) (bool, error) {
+func (a *Agent) handleM2M(su *snapUE, p *packet.Packet) (bool, error) {
 	r, ok := a.ctrl.(LocResolver)
 	if !ok {
-		a.stats.Denied++
-		a.obs.denied.Inc()
-		a.Access.InstallMicroflow(p.Flow(), switchsim.DropAction())
+		a.deny(p)
 		return false, nil
 	}
 	dstLoc := p.Dst
 	if !a.plan.Carrier.Contains(dstLoc) {
 		loc, err := r.ResolveLocIP(p.Dst)
 		if err != nil {
-			a.stats.Denied++
-			a.obs.denied.Inc()
-			a.Access.InstallMicroflow(p.Flow(), switchsim.DropAction())
+			a.deny(p)
 			return false, nil
 		}
 		dstLoc = loc
 	}
-	a.stats.CacheMiss++ // the resolution is a controller round trip
+	a.stats.cacheMiss.Add(1) // the resolution is a controller round trip
 	a.obs.cacheMiss.Inc()
 	orig := p.Flow()
-	srcLoc := st.ue.LocIP
+	srcLoc := su.ue.LocIP
 	// Tag 0: pure location routing (Type 3 rules) carries the flow to the
 	// peer's station directly.
 	up := switchsim.Action{Resubmit: true, Output: -1, SetSrc: &srcLoc, SetDst: &dstLoc}
 	a.Access.InstallMicroflow(orig, up)
 	rewritten := packet.FlowKey{Src: srcLoc, Dst: dstLoc, SrcPort: orig.SrcPort,
 		DstPort: orig.DstPort, Proto: orig.Proto}
-	perm := st.ue.PermIP
+	perm := su.ue.PermIP
 	down := switchsim.Action{Output: switchsim.PortUE, SetDst: &perm}
 	a.Access.InstallMicroflow(rewritten.Reverse(), down)
-	st.flows[orig] = flowState{orig: orig, rewritten: rewritten}
-	a.stats.Microflows += 2
+	a.mu.Lock()
+	a.flowsFor(perm).flows[orig] = flowState{orig: orig, rewritten: rewritten}
+	a.mu.Unlock()
+	a.stats.microflows.Add(2)
 	a.obs.microflows.Add(2)
 	return true, nil
 }
@@ -269,9 +319,8 @@ func (a *Agent) handleM2M(st *ueState, p *packet.Packet) (bool, error) {
 // success it installs the delivery microflow and the reverse rule so
 // replies retrace the same header transformation.
 func (a *Agent) HandleArrival(p *packet.Packet) (delivered bool, err error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	st, ok := a.byLoc[p.Dst]
+	snap := a.lkg()
+	su, ok := snap.byLoc[p.Dst]
 	if !ok {
 		return false, fmt.Errorf("agent: no UE with LocIP %s at bs%d", p.Dst, a.BS)
 	}
@@ -279,16 +328,19 @@ func (a *Agent) HandleArrival(p *packet.Packet) (delivered bool, err error) {
 		(a.PermPool.Len > 0 && a.PermPool.Contains(p.Src))
 	if !internal {
 		tag, _ := a.plan.SplitPort(p.DstPort)
-		if _, allowed := a.inbound[inboundKey{p.Dst, tag}]; !allowed {
-			a.stats.Denied++
+		a.mu.Lock()
+		_, bound := a.inbound[inboundKey{p.Dst, tag}]
+		a.mu.Unlock()
+		if !bound {
+			a.stats.denied.Add(1)
 			a.obs.denied.Inc()
 			return false, nil
 		}
 	}
-	a.stats.PacketIns++
+	a.stats.packetIns.Add(1)
 	a.obs.packetIns.Inc()
 	key := p.Flow()
-	perm := st.ue.PermIP
+	perm := su.ue.PermIP
 	tag, svc := a.plan.SplitPort(p.DstPort)
 	deliver := switchsim.Action{Output: switchsim.PortUE, SetDst: &perm}
 	if tag != 0 {
@@ -308,7 +360,7 @@ func (a *Agent) HandleArrival(p *packet.Packet) (delivered bool, err error) {
 	}
 	reply := switchsim.Action{Resubmit: true, Output: -1, SetSrc: &locIP, SetSrcPort: &tagged}
 	a.Access.InstallMicroflow(replyKey, reply)
-	a.stats.Microflows += 2
+	a.stats.microflows.Add(2)
 	a.obs.microflows.Add(2)
 	return true, nil
 }
@@ -328,22 +380,35 @@ func dscpFor(q policy.QoS) uint8 {
 	}
 }
 
-// installMicroflows writes the pair of exact-match rules for one flow.
+// flowsFor returns (creating if needed) the mutable flow book for a UE.
 //
 // caller holds mu
-func (a *Agent) installMicroflows(st *ueState, orig packet.FlowKey, tag packet.Tag, qos policy.QoS) error {
+func (a *Agent) flowsFor(perm packet.Addr) *ueFlows {
+	uf, ok := a.flows[perm]
+	if !ok {
+		uf = &ueFlows{flows: make(map[packet.FlowKey]flowState)}
+		a.flows[perm] = uf
+	}
+	return uf
+}
+
+// installMicroflows writes the pair of exact-match rules for one flow and
+// records it in the UE's flow book for later reconciliation.
+//
+// caller holds mu
+func (a *Agent) installMicroflows(su *snapUE, uf *ueFlows, orig packet.FlowKey, tag packet.Tag, clause int, qos policy.QoS) error {
 	if tag > a.plan.MaxTag() {
 		return fmt.Errorf("agent: tag %d does not fit the %d-bit tag field", tag, a.plan.TagBits)
 	}
-	st.nextEph++
-	if int(st.nextEph) >= 1<<a.plan.EphemeralBits() {
-		st.nextEph = 1 // wrap: ephemeral reuse, like real port allocation
+	uf.nextEph++
+	if int(uf.nextEph) >= 1<<a.plan.EphemeralBits() {
+		uf.nextEph = 1 // wrap: ephemeral reuse, like real port allocation
 	}
-	sport, err := a.plan.EmbedPort(tag, st.nextEph)
+	sport, err := a.plan.EmbedPort(tag, uf.nextEph)
 	if err != nil {
 		return err
 	}
-	loc := st.ue.LocIP
+	loc := su.ue.LocIP
 
 	// Upstream: rewrite source to (LocIP, tag|eph), mark the QoS class, and
 	// resubmit so the controller-installed rules forward it (§4.1, Fig. 4).
@@ -357,13 +422,13 @@ func (a *Agent) installMicroflows(st *ueState, orig packet.FlowKey, tag packet.T
 	// Downstream: the reverse of the rewritten flow; restore the permanent
 	// address and deliver to the UE.
 	rewritten := packet.FlowKey{Src: loc, Dst: orig.Dst, SrcPort: sport, DstPort: orig.DstPort, Proto: orig.Proto}
-	perm := st.ue.PermIP
+	perm := su.ue.PermIP
 	origPort := orig.SrcPort
 	down := switchsim.Action{Output: switchsim.PortUE, SetDst: &perm, SetDstPort: &origPort}
 	a.Access.InstallMicroflow(rewritten.Reverse(), down)
 
-	st.flows[orig] = flowState{orig: orig, rewritten: rewritten}
-	a.stats.Microflows += 2
+	uf.flows[orig] = flowState{orig: orig, rewritten: rewritten, clause: clause, tag: tag, qos: qos}
+	a.stats.microflows.Add(2)
 	a.obs.microflows.Add(2)
 	return nil
 }
@@ -372,12 +437,12 @@ func (a *Agent) installMicroflows(st *ueState, orig packet.FlowKey, tag packet.T
 func (a *Agent) ActiveFlows(permIP packet.Addr) []packet.FlowKey {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	st, ok := a.ues[permIP]
+	uf, ok := a.flows[permIP]
 	if !ok {
 		return nil
 	}
-	out := make([]packet.FlowKey, 0, len(st.flows))
-	for k := range st.flows {
+	out := make([]packet.FlowKey, 0, len(uf.flows))
+	for k := range uf.flows {
 		out = append(out, k)
 	}
 	return out
@@ -387,19 +452,26 @@ func (a *Agent) ActiveFlows(permIP packet.Addr) []packet.FlowKey {
 // agent copies the moving UE's microflow rules to the new agent's switch
 // (old flows keep the old LocIP and tags), retargets its own downstream
 // microflows into the inter-station tunnel toward the new station, and
-// hands over the UE state. newUE is the controller's post-handoff record.
+// hands over the UE state. newUE is the controller's post-handoff record;
+// the new agent must already have admitted it (AdmitUE).
 func (a *Agent) MigrateFlows(newAgent *Agent, newUE core.UE, oldLocIP packet.Addr) error {
-	a.mu.Lock()
-	st, ok := a.ues[newUE.PermIP]
-	if !ok {
-		a.mu.Unlock()
+	if _, ok := a.lkg().ues[newUE.PermIP]; !ok {
 		return fmt.Errorf("agent: no state for UE %s", newUE.IMSI)
 	}
-	delete(a.ues, newUE.PermIP)
-	delete(a.byLoc, oldLocIP)
-	flows := make([]flowState, 0, len(st.flows))
-	for _, f := range st.flows {
-		flows = append(flows, f)
+	if _, ok := newAgent.lkg().ues[newUE.PermIP]; !ok {
+		return fmt.Errorf("agent: new agent has not admitted UE %s", newUE.IMSI)
+	}
+	// The UE leaves this agent's snapshot; its flow book moves out under mu.
+	a.derive(func(d *snapshotDraft) { d.removeUE(newUE.PermIP) })
+	a.mu.Lock()
+	uf := a.flows[newUE.PermIP]
+	delete(a.flows, newUE.PermIP)
+	var flows []flowState
+	if uf != nil {
+		flows = make([]flowState, 0, len(uf.flows))
+		for _, f := range uf.flows {
+			flows = append(flows, f)
+		}
 	}
 	tunnel := switchsim.PortTunnelBase + int(newUE.BS)
 	for _, f := range flows {
@@ -420,14 +492,12 @@ func (a *Agent) MigrateFlows(newAgent *Agent, newUE core.UE, oldLocIP packet.Add
 	// LocIP and tag and triangle-route through the tunnel to the flow's
 	// ORIGIN station (decoded from the old LocIP), where the old policy
 	// path's upstream rules take over — so they traverse the old middlebox
-	// sequence (§5.1).
+	// sequence (§5.1). The reserved old address aliases into the new
+	// agent's snapshot.
+	newAgent.derive(func(d *snapshotDraft) { d.alias(oldLocIP, newUE.PermIP) })
 	newAgent.mu.Lock()
 	defer newAgent.mu.Unlock()
-	nst, ok := newAgent.ues[newUE.PermIP]
-	if !ok {
-		return fmt.Errorf("agent: new agent has not admitted UE %s", newUE.IMSI)
-	}
-	newAgent.byLoc[oldLocIP] = nst // reserved old address still maps here
+	nuf := newAgent.flowsFor(newUE.PermIP)
 	for _, f := range flows {
 		loc := f.rewritten.Src
 		sport := f.rewritten.SrcPort
@@ -445,8 +515,8 @@ func (a *Agent) MigrateFlows(newAgent *Agent, newUE core.UE, oldLocIP packet.Add
 		origPort := f.orig.SrcPort
 		down := switchsim.Action{Output: switchsim.PortUE, SetDst: &perm, SetDstPort: &origPort}
 		newAgent.Access.InstallMicroflow(f.rewritten.Reverse(), down)
-		nst.flows[f.orig] = f
-		newAgent.stats.Microflows += 2
+		nuf.flows[f.orig] = f
+		newAgent.stats.microflows.Add(2)
 		newAgent.obs.microflows.Add(2)
 	}
 	return nil
@@ -454,32 +524,32 @@ func (a *Agent) MigrateFlows(newAgent *Agent, newUE core.UE, oldLocIP packet.Add
 
 // LocationReport answers a recovering controller's location query (§5.2).
 func (a *Agent) LocationReport() core.AgentLocationReport {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	snap := a.lkg()
 	rep := core.AgentLocationReport{BS: a.BS}
-	for _, st := range a.ues {
-		rep.UEs = append(rep.UEs, st.ue)
+	for _, su := range snap.ues {
+		rep.UEs = append(rep.UEs, su.ue)
 	}
 	return rep
 }
 
-// Restart simulates a local-agent failure (§5.2): all cached state is
-// dropped; the controller re-pushes it via AdmitUE. Microflows in the
-// switch survive (the switch did not fail), so established flows keep
-// forwarding while the agent recovers.
+// Restart simulates a local-agent process failure (§5.2). The LKG snapshot
+// — validated, versioned, published state — survives, exactly as a
+// persisted config would: the agent keeps classifying and keeps its
+// version floor, so a stale snapshot replayed after the restart is still
+// refused. The counters survive too, staying coherent with their obs
+// registry mirrors (which are per-series and never reset). What is lost is
+// the soft state: the per-UE flow books. Microflows in the switch survive
+// (the switch did not fail), so established flows keep forwarding while
+// the controller re-pushes anything it wants changed.
 func (a *Agent) Restart() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.ues = make(map[packet.Addr]*ueState)
-	a.byLoc = make(map[packet.Addr]*ueState)
-	a.stats = Stats{}
+	a.flows = make(map[packet.Addr]*ueFlows)
 }
 
 // NumUEs reports the attached-UE count (Fig. 6(b)'s per-station quantity).
 func (a *Agent) NumUEs() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return len(a.ues)
+	return len(a.lkg().ues)
 }
 
 // FlowWireForm reports the tracked rewritten (wire) key for a UE's original
@@ -487,10 +557,10 @@ func (a *Agent) NumUEs() int {
 func (a *Agent) FlowWireForm(permIP packet.Addr, orig packet.FlowKey) (packet.FlowKey, bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	st, ok := a.ues[permIP]
+	uf, ok := a.flows[permIP]
 	if !ok {
 		return packet.FlowKey{}, false
 	}
-	f, ok := st.flows[orig]
+	f, ok := uf.flows[orig]
 	return f.rewritten, ok
 }

@@ -216,20 +216,39 @@ func TestLocationReport(t *testing.T) {
 	}
 }
 
-func TestRestartClearsState(t *testing.T) {
+func TestRestartKeepsLKGAndCounters(t *testing.T) {
 	ag := newAgent(t, newFakeController())
 	ue := testUE(t, 1, 1)
 	_ = ag.AdmitUE(ue, webClassifiers(7))
 	if _, err := ag.HandlePacketIn(upPkt(ue, 40000)); err != nil {
 		t.Fatal(err)
 	}
+	before := ag.Stats()
+	ver := ag.Version()
 	ag.Restart()
-	if ag.NumUEs() != 0 || ag.Stats().PacketIns != 0 {
-		t.Fatal("restart should clear agent state")
+	// The validated, versioned LKG snapshot survives a process restart
+	// (like persisted config would), so the agent keeps classifying and
+	// keeps its version floor; the counters stay coherent with it.
+	if ag.NumUEs() != 1 {
+		t.Fatalf("NumUEs = %d after restart, want 1 (LKG snapshot survives)", ag.NumUEs())
 	}
-	// Microflows survive in the switch (it did not fail).
+	if got := ag.Version(); got != ver {
+		t.Fatalf("version = %d after restart, want %d", got, ver)
+	}
+	if got := ag.Stats(); got != before {
+		t.Fatalf("stats changed across restart: %+v != %+v", got, before)
+	}
+	// The flow book is soft state and is dropped...
+	if got := len(ag.ActiveFlows(ue.PermIP)); got != 0 {
+		t.Fatalf("active flows = %d after restart, want 0", got)
+	}
+	// ...but microflows survive in the switch (it did not fail).
 	if ag.Access.NumMicroflows() == 0 {
 		t.Fatal("switch state should survive an agent restart")
+	}
+	// And the agent still classifies new flows purely from the snapshot.
+	if allowed, err := ag.HandlePacketIn(upPkt(ue, 40001)); err != nil || !allowed {
+		t.Fatalf("post-restart packet-in: allowed=%v err=%v", allowed, err)
 	}
 }
 

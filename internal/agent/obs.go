@@ -14,6 +14,12 @@ type agentObs struct {
 	cacheMiss  *obs.Counter
 	denied     *obs.Counter
 	microflows *obs.Counter
+	publishes  *obs.Counter
+	staleDrops *obs.Counter
+	rejected   *obs.Counter
+	replayed   *obs.Counter
+	tornDown   *obs.Counter
+	version    *obs.Gauge
 }
 
 // Instrument registers the agent's telemetry on reg. Call it before the
@@ -31,5 +37,11 @@ func (a *Agent) Instrument(reg *obs.Registry) {
 		cacheMiss:  reg.Counter("agent.cache.miss"),
 		denied:     reg.Counter("agent.denied"),
 		microflows: reg.Counter("agent.microflows.installed"),
+		publishes:  reg.Counter("agent.snapshot.publish"),
+		staleDrops: reg.Counter("agent.snapshot.stale"),
+		rejected:   reg.Counter("agent.snapshot.rejected"),
+		replayed:   reg.Counter("agent.reconcile.replayed"),
+		tornDown:   reg.Counter("agent.reconcile.torndown"),
+		version:    reg.Gauge("agent.snapshot.version"),
 	}
 }

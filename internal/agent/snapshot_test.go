@@ -1,0 +1,328 @@
+package agent
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/switchsim"
+)
+
+// view builds a pushable controller export for bs1 with the given UEs (all
+// carrying webClassifiers(0), i.e. clause 5 resolved through the tag table)
+// and tag grants.
+func view(ues []core.UE, grants ...core.TagGrant) core.AgentView {
+	v := core.AgentView{BS: 1, Tags: grants}
+	for _, ue := range ues {
+		v.UEs = append(v.UEs, core.AgentViewUE{UE: ue, Classifiers: webClassifiers(0)})
+	}
+	return v
+}
+
+// admitWithFlow builds an agent with one UE and one established tagged
+// flow (clause 5, tag 1 — resolved via the controller on first miss).
+func admitWithFlow(t *testing.T) (*Agent, core.UE) {
+	t.Helper()
+	ctrl := newFakeController()
+	ag := newAgent(t, ctrl)
+	ue := testUE(t, 1, 1)
+	if err := ag.AdmitUE(ue, webClassifiers(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ag.HandlePacketIn(upPkt(ue, 40000)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ag.lkg().Tag(5); got != 1 {
+		t.Fatalf("admitted tag = %d, want 1", got)
+	}
+	return ag, ue
+}
+
+// TestReconcileEdges drives Publish through the reconciliation edge cases:
+// a stale admit replayed under the snapshot's new tag, a tombstoned UE in a
+// newer snapshot, a withdrawn path, and a confirmed one. In every case the
+// established flow is kept, replayed, or torn down — never silently dropped.
+func TestReconcileEdges(t *testing.T) {
+	cases := []struct {
+		name  string
+		push  func(ue core.UE) core.AgentView
+		want  ReconcileReport
+		flows int // surviving tracked flows for the UE
+		tag   packet.Tag
+	}{
+		{
+			name: "confirmed tag kept",
+			push: func(ue core.UE) core.AgentView {
+				return view([]core.UE{ue}, core.TagGrant{Clause: 5, Tag: 1})
+			},
+			want: ReconcileReport{Kept: 1}, flows: 1, tag: 1,
+		},
+		{
+			name: "stale admit replayed under new tag",
+			push: func(ue core.UE) core.AgentView {
+				return view([]core.UE{ue}, core.TagGrant{Clause: 5, Tag: 9})
+			},
+			want: ReconcileReport{Replayed: 1}, flows: 1, tag: 9,
+		},
+		{
+			name: "withdrawn path torn down",
+			push: func(ue core.UE) core.AgentView {
+				return view([]core.UE{ue}) // no grant for clause 5
+			},
+			want: ReconcileReport{TornDown: 1}, flows: 0,
+		},
+		{
+			name: "tombstoned UE dropped whole",
+			push: func(core.UE) core.AgentView {
+				return view(nil, core.TagGrant{Clause: 5, Tag: 1})
+			},
+			want: ReconcileReport{TornDown: 1, UEsDropped: 1}, flows: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ag, ue := admitWithFlow(t)
+			rep, err := ag.Publish(NewSnapshot(ag.Version()+1, tc.push(ue)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep != tc.want {
+				t.Fatalf("reconcile report = %+v, want %+v", rep, tc.want)
+			}
+			if got := len(ag.ActiveFlows(ue.PermIP)); got != tc.flows {
+				t.Fatalf("tracked flows = %d, want %d", got, tc.flows)
+			}
+			if tc.flows > 0 {
+				// The replayed/kept microflow must carry the snapshot's tag.
+				q := upPkt(ue, 40000)
+				ag.Access.Process(q, switchsim.PortUE)
+				tag, _ := plan.SplitPort(q.SrcPort)
+				if tag != tc.tag {
+					t.Fatalf("wire tag = %d, want %d", tag, tc.tag)
+				}
+			}
+			st := ag.Stats()
+			if int(st.Replayed) != tc.want.Replayed || int(st.TornDown) != tc.want.TornDown {
+				t.Fatalf("stats replayed/torndown = %d/%d, want %d/%d",
+					st.Replayed, st.TornDown, tc.want.Replayed, tc.want.TornDown)
+			}
+		})
+	}
+}
+
+// TestOutOfOrderPublishRejected asserts CAS-on-version: an old snapshot
+// must never overwrite a newer one, regardless of delivery order — and the
+// refusal also survives an agent restart (the version floor is part of the
+// LKG state).
+func TestOutOfOrderPublishRejected(t *testing.T) {
+	ag, ue := admitWithFlow(t)
+	base := ag.Version()
+	if _, err := ag.Publish(NewSnapshot(base+5, view([]core.UE{ue}, core.TagGrant{Clause: 5, Tag: 2}))); err != nil {
+		t.Fatal(err)
+	}
+	for _, stale := range []uint64{base, base + 5} {
+		_, err := ag.Publish(NewSnapshot(stale, view([]core.UE{ue}, core.TagGrant{Clause: 5, Tag: 3})))
+		if !errors.Is(err, ErrStaleSnapshot) {
+			t.Fatalf("publish v%d: err = %v, want ErrStaleSnapshot", stale, err)
+		}
+	}
+	if got, _ := ag.lkg().Tag(5); got != 2 {
+		t.Fatalf("stale publish changed state: tag = %d, want 2", got)
+	}
+	if ag.Version() != base+5 {
+		t.Fatalf("version = %d, want %d", ag.Version(), base+5)
+	}
+	ag.Restart()
+	if _, err := ag.Publish(NewSnapshot(base+5, view([]core.UE{ue}))); !errors.Is(err, ErrStaleSnapshot) {
+		t.Fatalf("restart lowered the version floor: err = %v", err)
+	}
+	if st := ag.Stats(); st.StaleDrops != 3 {
+		t.Fatalf("StaleDrops = %d, want 3", st.StaleDrops)
+	}
+}
+
+// TestPublishValidation asserts validate-then-swap: a snapshot that
+// misattributes UEs or grants unusable tags is refused whole and leaves the
+// LKG state untouched.
+func TestPublishValidation(t *testing.T) {
+	ag, ue := admitWithFlow(t)
+	ver := ag.Version()
+	foreign := testUE(t, 2, 7) // attached to bs2
+	bad := []core.AgentView{
+		view([]core.UE{foreign}),
+		view([]core.UE{ue}, core.TagGrant{Clause: 5, Tag: 0}),
+		view([]core.UE{ue}, core.TagGrant{Clause: 5, Tag: plan.MaxTag() + 1}),
+	}
+	for i, v := range bad {
+		if _, err := ag.Publish(NewSnapshot(ver+1, v)); err == nil {
+			t.Fatalf("bad view %d accepted", i)
+		}
+	}
+	if ag.Version() != ver {
+		t.Fatal("rejected snapshot changed the version")
+	}
+	if st := ag.Stats(); st.Rejected != uint64(len(bad)) {
+		t.Fatalf("Rejected = %d, want %d", st.Rejected, len(bad))
+	}
+}
+
+// snapOp is one step of a randomized publish/packet-in interleaving.
+// testing/quick fills it via reflection.
+type snapOp struct {
+	Publish bool
+	Delta   uint8 // version step; %4 == 0 makes the push stale on purpose
+	Tag     uint8 // granted tag for clause 5; %8 == 0 omits the grant
+	DropUE  bool  // tombstone the UE in this push
+}
+
+// TestVerdictMatchesHighestPublished is the atomicity property: for any
+// sequential interleaving of snapshot publishes and classifications, the
+// verdict equals classifying against the highest fully-published snapshot
+// version — stale pushes change nothing, and no verdict ever mixes fields
+// from two generations.
+func TestVerdictMatchesHighestPublished(t *testing.T) {
+	ue := testUE(t, 1, 1)
+	check := func(ops []snapOp) bool {
+		ag := newAgent(t, nil) // pushed-snapshot mode: no controller
+		// Model state: what the highest accepted publication carries.
+		var hasUE bool
+		var tag packet.Tag
+		for _, op := range ops {
+			if op.Publish {
+				delta := uint64(op.Delta % 4) // 0 => stale/duplicate version
+				grantTag := packet.Tag(op.Tag % 8)
+				var ues []core.UE
+				if !op.DropUE {
+					ues = append(ues, ue)
+				}
+				var grants []core.TagGrant
+				if grantTag != 0 {
+					grants = append(grants, core.TagGrant{Clause: 5, Tag: grantTag})
+				}
+				_, err := ag.Publish(NewSnapshot(ag.Version()+delta, view(ues, grants...)))
+				if delta == 0 {
+					if !errors.Is(err, ErrStaleSnapshot) {
+						t.Logf("stale push accepted: %v", err)
+						return false
+					}
+					continue // model unchanged
+				}
+				if err != nil {
+					t.Logf("publish failed: %v", err)
+					return false
+				}
+				hasUE = !op.DropUE
+				tag = grantTag
+				continue
+			}
+			got := ag.Classify(upPkt(ue, 41000))
+			want := Verdict{}
+			if hasUE {
+				want = Verdict{Known: true, Allowed: true, Tag: tag, Pending: tag == 0}
+			}
+			if got != want {
+				t.Logf("verdict = %+v, want %+v (hasUE=%v tag=%d v=%d)",
+					got, want, hasUE, tag, ag.Version())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentPublishClassify races publishers against classifiers under
+// -race. Every published snapshot v correlates its tag grant with its
+// version (tag = v%62+1), so a reader observing a verdict whose tag does
+// not match any single version proves a torn read; per-reader versions must
+// also be monotonic, since swaps are CAS-ordered by version.
+func TestConcurrentPublishClassify(t *testing.T) {
+	ag := newAgent(t, nil)
+	ue := testUE(t, 1, 1)
+	if err := ag.AdmitUE(ue, webClassifiers(0)); err != nil {
+		t.Fatal(err)
+	}
+	tagOf := func(v uint64) packet.Tag { return packet.Tag(v%62) + 1 }
+	const versions = 500
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := ag.Version() + 1; v <= versions; v++ {
+			if _, err := ag.Publish(NewSnapshot(v, view([]core.UE{ue},
+				core.TagGrant{Clause: 5, Tag: tagOf(v)}))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	errs := make(chan string, 4)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for i := 0; i < 2000; i++ {
+				s := ag.lkg() // one atomic load: the whole read side
+				if s.Version() < last {
+					errs <- "version went backwards"
+					return
+				}
+				last = s.Version()
+				if tag, ok := s.Tag(5); ok && tag != tagOf(s.Version()) {
+					errs <- "tag does not match snapshot version: torn read"
+					return
+				}
+				if v := ag.Classify(upPkt(ue, 42000)); !v.Known || !v.Allowed {
+					errs <- "admitted UE lost its verdict mid-publish"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if ag.Version() != versions {
+		t.Fatalf("final version = %d, want %d", ag.Version(), versions)
+	}
+}
+
+// TestInstrumentedCountersMatchStats keeps the obs mirrors coherent with
+// Stats across publishes, rejections, and a restart.
+func TestInstrumentedCountersMatchStats(t *testing.T) {
+	ag, ue := admitWithFlow(t)
+	reg := obs.New()
+	ag.Instrument(reg)
+	if _, err := ag.Publish(NewSnapshot(ag.Version()+1, view([]core.UE{ue},
+		core.TagGrant{Clause: 5, Tag: 4}))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ag.Publish(NewSnapshot(0, view([]core.UE{ue}))); !errors.Is(err, ErrStaleSnapshot) {
+		t.Fatalf("err = %v", err)
+	}
+	ag.Restart()
+	st := ag.Stats()
+	checks := map[string]uint64{
+		"agent.snapshot.publish":   st.Publishes,
+		"agent.snapshot.stale":     st.StaleDrops,
+		"agent.reconcile.replayed": st.Replayed,
+		"agent.reconcile.torndown": st.TornDown,
+	}
+	for name, want := range checks {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Gauge("agent.snapshot.version").Value(); uint64(got) != ag.Version() {
+		t.Errorf("version gauge = %d, want %d", got, ag.Version())
+	}
+}

@@ -13,6 +13,7 @@ const (
 	kindAgentRestart
 	kindDetachMidHandoff
 	kindPolicyChurn
+	kindBlackout
 )
 
 // chaosObs is the harness's own telemetry: faults injected vs invariant

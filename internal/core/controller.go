@@ -140,6 +140,10 @@ type Controller struct {
 	// fresh map. Invalidated wholesale on RemovePolicyPaths and failure
 	// recomputation, per station on shard migration.
 	tagCache atomic.Pointer[tagMap]
+	// epoch counts tag-plan mutations (publish, rebuild, station
+	// invalidation). AgentView stamps exports with it so agents can tell
+	// two snapshots cut from the same plan apart from a real change.
+	epoch atomic.Uint64
 
 	// Stats counters; snapshot through Stats().
 	attaches atomic.Uint64
@@ -520,6 +524,7 @@ func (c *Controller) publishTagLocked(key pathKey, tag packet.Tag) {
 	}
 	next[key] = tag
 	c.tagCache.Store(&next)
+	c.epoch.Add(1)
 	c.obs.evTagPub.Emit(int64(key.bs), int64(key.clause), int64(tag))
 }
 
@@ -535,6 +540,7 @@ func (c *Controller) rebuildTagCacheLocked() {
 		next[k] = rec.AccessTag()
 	}
 	c.tagCache.Store(&next)
+	c.epoch.Add(1)
 	// Wholesale invalidation: report how many memo entries did not carry
 	// over (bs -1 = all stations).
 	dropped := 0
@@ -563,6 +569,7 @@ func (c *Controller) invalidateStationLocked(bs packet.BSID) {
 		}
 	}
 	c.tagCache.Store(&next)
+	c.epoch.Add(1)
 	if dropped := len(old) - len(next); dropped > 0 {
 		c.obs.evTagEvict.Emit(int64(bs), int64(dropped))
 	}

@@ -28,6 +28,13 @@ type Client struct {
 	// before issuing requests; they are read without synchronisation.
 	Timeout  time.Duration
 	Attempts int
+
+	// OnSnapshot receives controller-pushed agent snapshots
+	// (Server.PushSnapshot). It runs synchronously on the read loop, so a
+	// snapshot is fully handled before any later frame on the connection —
+	// that ordering is the pusher's publish barrier. Nil drops pushes. Set
+	// it before issuing requests; it is read without synchronisation.
+	OnSnapshot func(SnapshotNotify) error
 }
 
 // NewClient wraps an established connection and starts its read loop.
@@ -63,6 +70,18 @@ func (cl *Client) handle(f frame) {
 			rep = cl.Reporter()
 		}
 		_ = cl.c.respond(f.reqID, MsgLocationQuery, marshalJSON(rep))
+	case MsgSnapshot:
+		// A notification, not a request: no response frame. A stale or
+		// invalid snapshot is the receiver's local decision (the agent
+		// refuses it and keeps its LKG state); the wire carries no verdict.
+		var n SnapshotNotify
+		if err := json.Unmarshal(f.payload, &n); err != nil {
+			return
+		}
+		if cl.OnSnapshot != nil {
+			//lint:ignore errdrop the push has no reply channel; rejected snapshots are counted by the agent
+			_ = cl.OnSnapshot(n)
+		}
 	default:
 		_ = cl.c.respondError(f.reqID, errUnexpected(f.typ))
 	}

@@ -46,6 +46,7 @@ const (
 	MsgLocationQuery
 	MsgResolve
 	MsgError
+	MsgSnapshot
 )
 
 func (m MsgType) String() string {
@@ -66,6 +67,8 @@ func (m MsgType) String() string {
 		return "resolve"
 	case MsgError:
 		return "error"
+	case MsgSnapshot:
+		return "snapshot"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(m))
 	}
@@ -211,6 +214,18 @@ type AttachReply struct {
 type HandoffRequest struct {
 	IMSI  string      `json:"imsi"`
 	NewBS packet.BSID `json:"newBS"`
+}
+
+// SnapshotNotify is the controller-initiated push of one station's
+// versioned agent view (JSON payload: snapshots are cold-path, the point
+// is that packet-ins never wait for them). It is a notification, not a
+// request: the agent swaps the snapshot in (or refuses a stale version)
+// locally and never replies — a pusher wanting a publish barrier follows
+// the push with an Echo on the same connection, which the receiving read
+// loop processes strictly after the snapshot frame.
+type SnapshotNotify struct {
+	Version uint64         `json:"version"`
+	View    core.AgentView `json:"view"`
 }
 
 // conn is the symmetric framed connection with request correlation.

@@ -203,6 +203,37 @@ func (s *Server) handle(c *conn, f frame) {
 	}
 }
 
+// PushSnapshot sends one station's versioned snapshot to every connected
+// agent that declared that base station in its Hello, reusing the
+// group-commit write path (buffer, then one flush per connection). It
+// reports how many connections the push was written to; zero with a nil
+// error means no agent for that station is connected — the push is simply
+// dropped, and the agent keeps serving its last-known-good state until it
+// reconnects and a fresh snapshot reaches it.
+func (s *Server) PushSnapshot(n SnapshotNotify) (int, error) {
+	s.mu.Lock()
+	conns := make([]*conn, 0, 1)
+	for c, bs := range s.conns {
+		if bs == n.View.BS {
+			conns = append(conns, c)
+		}
+	}
+	s.mu.Unlock()
+	payload := marshalJSON(n)
+	pushed := 0
+	var firstErr error
+	for _, c := range conns {
+		if err := c.send(frame{typ: MsgSnapshot, payload: payload}); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		pushed++
+	}
+	return pushed, firstErr
+}
+
 // QueryLocations asks every connected agent for its location report and
 // feeds the answers to the controller's recovery (§5.2). It returns the
 // number of agents that answered.

@@ -1,0 +1,86 @@
+package ctrlproto
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// TestPushSnapshotDeliversInOrder covers the push path: snapshots reach
+// only the connection that declared the target station, arrive in send
+// order, and an Echo issued after a push is answered only after the
+// snapshot has been handled (the read loop serves frames in order — the
+// pusher's publish barrier).
+func TestPushSnapshotDeliversInOrder(t *testing.T) {
+	srv := NewServer(lineController(t))
+	cl := pipePair(t, srv)
+	other := pipePair(t, srv)
+
+	var mu sync.Mutex
+	var got []uint64
+	cl.OnSnapshot = func(n SnapshotNotify) error {
+		mu.Lock()
+		got = append(got, n.Version)
+		mu.Unlock()
+		return nil
+	}
+	other.OnSnapshot = func(SnapshotNotify) error {
+		t.Error("snapshot delivered to an agent for a different station")
+		return nil
+	}
+	if err := cl.Hello(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Hello(4); err != nil {
+		t.Fatal(err)
+	}
+
+	view := core.AgentView{BS: 3, Epoch: 1, Tags: []core.TagGrant{{Clause: 5, Tag: 2}}}
+	for v := uint64(1); v <= 3; v++ {
+		n, err := srv.PushSnapshot(SnapshotNotify{Version: v, View: view})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("push v%d reached %d conns, want 1", v, n)
+		}
+	}
+	// Barrier: the echo response cannot overtake the pushes on the wire.
+	if _, err := cl.Echo(nil); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("delivered versions = %v, want [1 2 3]", got)
+	}
+}
+
+// TestPushSnapshotNoAgent: pushing at a station with no connected agent is
+// a dropped notification, not an error — the agent rides its LKG state.
+func TestPushSnapshotNoAgent(t *testing.T) {
+	srv := NewServer(lineController(t))
+	cl := pipePair(t, srv)
+	if err := cl.Hello(1); err != nil {
+		t.Fatal(err)
+	}
+	n, err := srv.PushSnapshot(SnapshotNotify{Version: 1,
+		View: core.AgentView{BS: packet.BSID(99)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("pushed to %d conns, want 0", n)
+	}
+	// A client with no OnSnapshot handler just drops pushes; the
+	// connection stays healthy.
+	if _, err := srv.PushSnapshot(SnapshotNotify{Version: 1,
+		View: core.AgentView{BS: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Echo([]byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+}

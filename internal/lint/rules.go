@@ -151,10 +151,11 @@ func DefaultRules() *Rules {
 				"repro/internal/routing", "repro/internal/topo",
 			},
 			"repro/internal/chaos": {
-				"repro/internal/core", "repro/internal/ctrlproto",
-				"repro/internal/obs", "repro/internal/packet",
-				"repro/internal/policy", "repro/internal/shard",
-				"repro/internal/sim", "repro/internal/topo",
+				"repro/internal/agent", "repro/internal/core",
+				"repro/internal/ctrlproto", "repro/internal/obs",
+				"repro/internal/packet", "repro/internal/policy",
+				"repro/internal/shard", "repro/internal/sim",
+				"repro/internal/switchsim", "repro/internal/topo",
 			},
 			"repro/internal/cbench": {
 				"repro/internal/agent", "repro/internal/core",

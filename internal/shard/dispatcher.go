@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -44,6 +45,11 @@ type Config struct {
 	// Install passes installer options through; each shard's TagOffset and
 	// TagStride are overwritten with its partition coordinates.
 	Install core.InstallerOptions
+
+	// Admission configures per-shard overload protection (class-based load
+	// shedding, per-station token buckets, circuit breakers). The zero
+	// value disables all of it.
+	Admission Admission
 
 	// Obs, when non-nil, registers dispatcher-wide telemetry (cross-shard
 	// handoff latency, failover events) plus per-shard queue metrics and
@@ -179,7 +185,8 @@ func New(cfg Config) (*Dispatcher, error) {
 		if err != nil {
 			return nil, err
 		}
-		d.shards[id] = newShard(id, ctrl, owned, cfg.QueueLen, cfg.Workers, cfg.Batch, newShardObs(cfg.Obs, id))
+		adm := newAdmission(cfg.Admission, newAdmObs(cfg.Obs, id))
+		d.shards[id] = newShard(id, ctrl, owned, cfg.QueueLen, cfg.Workers, cfg.Batch, newShardObs(cfg.Obs, id), adm)
 	}
 	return d, nil
 }
@@ -245,8 +252,9 @@ func (d *Dispatcher) RegisterSubscriber(imsi string, attr policy.Attributes) err
 }
 
 // RequestPath resolves a policy path through the owning shard's queue —
-// the sharded hot path. A request caught by a concurrent failover is
-// retried once against the fresh ring.
+// the sharded hot path. A request caught by a concurrent failover (a dead
+// shard, or its tripped breaker failing fast) is retried once against the
+// fresh ring.
 func (d *Dispatcher) RequestPath(bs packet.BSID, clause int) (packet.Tag, error) {
 	for attempt := 0; ; attempt++ {
 		s, err := d.ShardOf(bs)
@@ -258,10 +266,33 @@ func (d *Dispatcher) RequestPath(bs packet.BSID, clause int) (packet.Tag, error)
 		s.do(w)
 		tag, err := w.tag, w.err
 		putWork(w)
-		if err == ErrShardDown && attempt == 0 {
+		if attempt == 0 && (errors.Is(err, ErrShardDown) || errors.Is(err, ErrCircuitOpen)) {
 			continue
 		}
 		return tag, err
+	}
+}
+
+// AgentView exports the owning shard's snapshot of one base station's
+// agent state (core.Controller.AgentView) through the shard queue, so the
+// export is serialised with the mutations it snapshots. It is the source
+// of the versioned LKG snapshots pushed to agents; as protocol-internal
+// work it bypasses admission control.
+func (d *Dispatcher) AgentView(bs packet.BSID) (core.AgentView, error) {
+	for attempt := 0; ; attempt++ {
+		s, err := d.ShardOf(bs)
+		if err != nil {
+			return core.AgentView{}, err
+		}
+		w := getWork(opView)
+		w.bs = bs
+		s.do(w)
+		view, err := w.view, w.err
+		putWork(w)
+		if attempt == 0 && errors.Is(err, ErrShardDown) {
+			continue
+		}
+		return view, err
 	}
 }
 

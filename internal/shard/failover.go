@@ -79,9 +79,11 @@ func (d *Dispatcher) FailShard(id int, reports []core.AgentLocationReport) (Fail
 		return FailoverReport{}, fmt.Errorf("shard: cannot fail the last shard")
 	}
 	// Publish the new ring first so no new request routes to the victim,
-	// then declare it dead so queued requests drain with ErrShardDown.
+	// then declare it dead so queued requests drain with ErrShardDown, and
+	// trip its breaker so stragglers fail fast instead of probing a corpse.
 	d.ring.Store(newRing)
 	victim.dead.Store(true)
+	victim.adm.trip()
 
 	rep := FailoverReport{Shard: id}
 	salvaged, err := salvageUEs(victim.Ctrl.Store)

@@ -51,3 +51,33 @@ func newShardObs(reg *obs.Registry, id int) shardObs {
 		batchSize: sub.Histogram("batch.size", 1, 2, 4, 8, 16, 32, 64, 128),
 	}
 }
+
+// admObs holds one shard's admission-control telemetry: shed counts by
+// request class, token-bucket refusals, and the circuit breaker's state
+// machine, all under the same "shard.<id>" view as the queue metrics.
+// Handles are nil-safe no-ops when the dispatcher runs uninstrumented.
+type admObs struct {
+	shed            [numClasses]*obs.Counter
+	throttled       *obs.Counter
+	breakerState    *obs.Gauge // 0 closed, 1 open, 2 half-open
+	breakerTrips    *obs.Counter
+	breakerFastFail *obs.Counter
+}
+
+func newAdmObs(reg *obs.Registry, id int) admObs {
+	if reg == nil {
+		return admObs{}
+	}
+	sub := reg.Sub("shard." + strconv.Itoa(id))
+	return admObs{
+		shed: [numClasses]*obs.Counter{
+			ClassBearer:  sub.Counter("admission.shed.bearer"),
+			ClassAttach:  sub.Counter("admission.shed.attach"),
+			ClassHandoff: sub.Counter("admission.shed.handoff"),
+		},
+		throttled:       sub.Counter("admission.throttled"),
+		breakerState:    sub.Gauge("breaker.state"),
+		breakerTrips:    sub.Counter("breaker.trips"),
+		breakerFastFail: sub.Counter("breaker.fastfail"),
+	}
+}

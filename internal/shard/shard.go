@@ -27,6 +27,7 @@ const (
 	opAdopt
 	opAbsorb
 	opRecover
+	opView
 )
 
 // work is one queued request plus its result slots. Items are pooled; the
@@ -46,6 +47,7 @@ type work struct {
 	cls  []core.Classifier
 	hr   core.HandoffResult
 	addr packet.Addr
+	view core.AgentView
 	err  error
 
 	done chan struct{}
@@ -64,6 +66,7 @@ func putWork(w *work) {
 	w.ues, w.reports, w.cls = nil, nil, nil
 	w.mig = core.MigratedUE{}
 	w.hr = core.HandoffResult{}
+	w.view = core.AgentView{}
 	w.err = nil
 	workPool.Put(w)
 }
@@ -88,10 +91,11 @@ type Shard struct {
 	served atomic.Uint64
 	wg     sync.WaitGroup
 	obs    shardObs
+	adm    *admission
 }
 
 // newShard wires the queue and workers around a restricted controller.
-func newShard(id int, ctrl *core.Controller, stations []packet.BSID, queueLen, workers, batch int, so shardObs) *Shard {
+func newShard(id int, ctrl *core.Controller, stations []packet.BSID, queueLen, workers, batch int, so shardObs, adm *admission) *Shard {
 	s := &Shard{
 		ID:       id,
 		Ctrl:     ctrl,
@@ -99,6 +103,7 @@ func newShard(id int, ctrl *core.Controller, stations []packet.BSID, queueLen, w
 		queue:    make(chan *work, queueLen),
 		batch:    batch,
 		obs:      so,
+		adm:      adm,
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -113,15 +118,26 @@ func (s *Shard) Served() uint64 { return s.served.Load() }
 // Down reports whether the shard has been declared failed.
 func (s *Shard) Down() bool { return s.dead.Load() }
 
-// do runs one work item through the shard's queue and waits for it.
+// do runs one work item through the shard's queue and waits for it. The
+// admission pipeline (circuit breaker, class shedding against queue
+// occupancy, per-station token bucket) runs before the item is enqueued;
+// protected protocol-internal kinds bypass it. Every outcome — including a
+// dead-shard refusal — feeds the breaker.
 func (s *Shard) do(w *work) {
+	isProtected := protectedOp(w.kind)
 	if s.dead.Load() {
 		w.err = ErrShardDown
+		s.adm.result(ErrShardDown, isProtected)
+		return
+	}
+	if err := s.adm.admit(w.kind, w.bs, len(s.queue), cap(s.queue)); err != nil {
+		w.err = err
 		return
 	}
 	s.obs.depth.Add(1)
 	s.queue <- w
 	<-w.done
+	s.adm.result(w.err, isProtected)
 }
 
 // worker drains the queue in batches: one blocking receive, then as many
@@ -203,6 +219,8 @@ func (s *Shard) serve(batch []*work, qs *[]core.PathQuery, idx *[]int, ans *[]co
 			w.err = s.Ctrl.AbsorbStation(w.bs, w.ues)
 		case opRecover:
 			w.err = s.Ctrl.RecoverLocations(w.reports)
+		case opView:
+			w.view, w.err = s.Ctrl.AgentView(w.bs)
 		}
 		w.done <- struct{}{}
 	}
