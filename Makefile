@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint fuzz verify bench bench-shards bench-dataplane bench-city city-smoke blackout-smoke profile clean chaos cover
+.PHONY: all build test race vet lint fuzz verify bench bench-shards bench-dataplane bench-city city-smoke blackout-smoke profile clean chaos cover span-alloc-gate
 
 all: verify
 
@@ -68,15 +68,29 @@ verify:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) cover
+	$(MAKE) span-alloc-gate
 	$(MAKE) city-smoke
 	$(MAKE) blackout-smoke
 
+# span-alloc-gate pins the tracing tax on the unsampled hot path: the
+# not-sampled span branch must stay at 0 allocs/op (DESIGN.md §16), on
+# top of the hotpath lint annotations the lint step already cross-checks.
+span-alloc-gate:
+	@out=$$($(GO) test -run '^$$' -bench '^BenchmarkSpanNotSampled$$' -benchmem ./internal/obs); \
+	echo "$$out"; \
+	allocs=$$(echo "$$out" | awk '/BenchmarkSpanNotSampled/ {for (i=1;i<=NF;i++) if ($$i == "allocs/op") print $$(i-1)}'); \
+	if [ -z "$$allocs" ]; then echo "span-alloc-gate: benchmark produced no allocs/op figure"; exit 1; fi; \
+	if [ "$$allocs" != "0" ]; then echo "FAIL: not-sampled span path allocates ($$allocs allocs/op, want 0)"; exit 1; fi; \
+	echo "span-alloc-gate: not-sampled span path is allocation free"
+
 # city-smoke is bench-city shrunk to CI scale: same code path end to end,
 # seconds instead of minutes. The report lands next to the full soak's so
-# CI can archive it.
+# CI can archive it, along with the span critical-path attribution
+# (sampled 1-in-64 so a short smoke still collects a real waterfall).
 city-smoke:
 	$(GO) run ./cmd/softcell-bench -mode city -stations 48 -ues 20000 -shards 2 \
-		-sim-seconds 30 -legacy-sample 20000 -json results/BENCH_city_smoke.json
+		-sim-seconds 30 -legacy-sample 20000 -trace-sample 64 -attr \
+		-attr-json results/ATTR_city_smoke.json -json results/BENCH_city_smoke.json
 
 # blackout-smoke is the agent-survivability gate (DESIGN.md §15): the
 # control plane goes dark for 30 sim-seconds under live traffic, and the

@@ -52,6 +52,9 @@ type benchReport struct {
 	// (one registry spans the sweep; get-or-create registration merges the
 	// points into the same series).
 	Obs obs.Snapshot `json:"obs"`
+	// Attribution is the span critical-path waterfall over the sweep's
+	// sampled traces (bench.op roots with wire and controller children).
+	Attribution obs.Attribution `json:"attribution"`
 }
 
 // dpPoint is one row of the forwarding-plane sweep.
@@ -104,6 +107,9 @@ type blackoutReport struct {
 	OutageNewFlowsPerSec float64              `json:"outage_new_flows_per_sec"`
 	GOMAXPROCS           int                  `json:"gomaxprocs"`
 	Obs                  obs.Snapshot         `json:"obs"`
+	// Attribution is the span critical-path waterfall over the soak's
+	// sampled control-plane traces.
+	Attribution obs.Attribution `json:"attribution"`
 }
 
 // cityReport is the BENCH_city.json schema: the soak result plus the host
@@ -122,6 +128,24 @@ func writeJSON(path string, v any) {
 		os.Exit(1)
 	}
 	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", path)
+}
+
+// emitAttr renders the span attribution a run collected: the critical-path
+// waterfall to stdout when asked, and the raw attribution JSON to a file
+// (the CI artifact make city-smoke uploads).
+func emitAttr(a obs.Attribution, show bool, path string) {
+	if show {
+		fmt.Println()
+		fmt.Print(a.Waterfall())
+	}
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, append(a.JSON(), '\n'), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
@@ -159,6 +183,10 @@ func main() {
 		mixDet   = flag.Int("mix-detach", 0, "chaos: detach-mid-handoff weight (0 = default)")
 		mixPol   = flag.Int("mix-policy", 0, "chaos: policy-churn weight (0 = default)")
 		traceOut = flag.String("trace", "", "chaos: write the deterministic event trace to this file")
+
+		traceSample = flag.Int("trace-sample", 0, "span tracing: sample one request in N (0 keeps the default, 1024)")
+		attrShow    = flag.Bool("attr", false, "controller, blackout, city: print the span critical-path waterfall")
+		attrJSON    = flag.String("attr-json", "", "controller, blackout, city: also write the span attribution as JSON to this file")
 	)
 	flag.Parse()
 	// The chaos-calibrated -shards/-ues defaults are far too small for a
@@ -173,6 +201,9 @@ func main() {
 		tab := metrics.NewTable("workers", "requests", "requests/s", "allocs/op")
 		reg := obs.New()
 		reg.SetClock(func() int64 { return time.Now().UnixNano() })
+		if *traceSample > 0 {
+			reg.SetSpanSampling(*traceSample)
+		}
 		report := benchReport{
 			Mode: "controller", Agents: *agents, OverWire: *wire,
 			DurationMS: duration.Milliseconds(), GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -194,6 +225,8 @@ func main() {
 			report.Mem = res.Mem
 		}
 		fmt.Print(tab)
+		report.Attribution = obs.Attribute(reg.SpanRecords())
+		emitAttr(report.Attribution, *attrShow, *attrJSON)
 		if *jsonOut != "" {
 			report.Obs = reg.Snapshot()
 			writeJSON(*jsonOut, report)
@@ -401,6 +434,9 @@ which regime this file was produced in.
 			cfg.UEs = *ues
 		}
 		reg := obs.New()
+		if *traceSample > 0 {
+			reg.SetSpanSampling(*traceSample)
+		}
 		cfg.Obs = reg
 		fmt.Printf("blackout soak: seed=%d outage=%d sim-ms GOMAXPROCS=%d\n",
 			*seed, *outage, runtime.GOMAXPROCS(0))
@@ -427,10 +463,13 @@ which regime this file was produced in.
 		fmt.Printf("\n%d probe packets forwarded on last-known-good state across a %d sim-ms\n",
 			res.OutageForward, res.OutageTicks)
 		fmt.Println("control-plane blackout with zero verdict flips; reconciliation converged.")
+		attribution := obs.Attribute(reg.SpanRecords())
+		emitAttr(attribution, *attrShow, *attrJSON)
 		if *jsonOut != "" {
 			rep := blackoutReport{
 				Seed: *seed, Result: res, WallMS: wall.Milliseconds(),
 				GOMAXPROCS: runtime.GOMAXPROCS(0), Obs: reg.Snapshot(),
+				Attribution: attribution,
 			}
 			if wall > 0 {
 				rep.OutageForwardPerSec = float64(res.OutageForward) / wall.Seconds()
@@ -458,6 +497,9 @@ which regime this file was produced in.
 		}
 		reg := obs.New()
 		reg.SetClock(func() int64 { return time.Now().UnixNano() })
+		if *traceSample > 0 {
+			reg.SetSpanSampling(*traceSample)
+		}
 		opts.Obs = reg
 		fmt.Printf("city soak: stations=%d sim-seconds>=%d soak>=%v GOMAXPROCS=%d\n",
 			opts.Stations, opts.SimSeconds, *soakWall, runtime.GOMAXPROCS(0))
@@ -486,6 +528,9 @@ which regime this file was produced in.
 		tab.AddRow("GC", fmt.Sprintf("%d cycles, %.1fms total pause, %.2fms max", res.GCCount, res.GCPauseTotalMS, res.GCPauseMaxMS))
 		fmt.Print(tab)
 		fmt.Printf("\n%d op errors; post-soak cross-shard invariants held\n", res.OpErrors)
+		if res.Attribution != nil {
+			emitAttr(*res.Attribution, *attrShow, *attrJSON)
+		}
 		if *jsonOut != "" {
 			writeJSON(*jsonOut, cityReport{
 				CityResult: res, GOMAXPROCS: runtime.GOMAXPROCS(0), Obs: reg.Snapshot(),

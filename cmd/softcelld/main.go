@@ -55,6 +55,7 @@ func main() {
 		ues     = flag.Int("ues", 100, "emulated subscribers to attach (with -emulate-agents)")
 		shards  = flag.Int("shards", 0, "partition the control plane across this many controller shards (0: single controller with data plane)")
 		debug   = flag.String("debug-addr", "", "serve Prometheus /metrics, pprof and trace-dump endpoints on this address (empty: disabled)")
+		sample  = flag.Int("trace-sample", 0, "span tracing: sample one request in N (0 keeps the default, 1024; negative disables)")
 	)
 	flag.Parse()
 
@@ -62,6 +63,9 @@ func main() {
 	// events with real time here (sim/chaos runs inject virtual clocks).
 	reg := obs.New()
 	reg.SetClock(func() int64 { return time.Now().UnixNano() })
+	if *sample != 0 {
+		reg.SetSpanSampling(*sample)
+	}
 
 	g, err := softcell.GenerateTopology(*k, 10, 3, 1)
 	if err != nil {

@@ -20,6 +20,11 @@ type agentObs struct {
 	replayed   *obs.Counter
 	tornDown   *obs.Counter
 	version    *obs.Gauge
+
+	// spPublish times validate+swap+reconcile of one snapshot publication.
+	// Publications are controller-pushed, not request-scoped, so each one
+	// roots its own trace under the sampling knob.
+	spPublish *obs.SpanName
 }
 
 // Instrument registers the agent's telemetry on reg. Call it before the
@@ -43,5 +48,10 @@ func (a *Agent) Instrument(reg *obs.Registry) {
 		replayed:   reg.Counter("agent.reconcile.replayed"),
 		tornDown:   reg.Counter("agent.reconcile.torndown"),
 		version:    reg.Gauge("agent.snapshot.version"),
+
+		spPublish: reg.SpanName("agent.publish"),
 	}
+	reg.Doc("agent.snapshot.publish", "Snapshots accepted and swapped in as LKG state")
+	reg.Doc("agent.snapshot.stale", "Snapshot publications refused for stale versions")
+	reg.Doc("agent.snapshot.version", "Version of the agent's current LKG snapshot")
 }

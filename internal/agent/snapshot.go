@@ -272,6 +272,8 @@ func (a *Agent) validateSnapshot(s *Snapshot) error {
 // agent's live microflows against the new state and reports what was kept,
 // replayed, or torn down.
 func (a *Agent) Publish(s *Snapshot) (ReconcileReport, error) {
+	sp := a.obs.spPublish.Root()
+	defer sp.End()
 	if s == nil {
 		return ReconcileReport{}, errors.New("agent: nil snapshot")
 	}

@@ -167,14 +167,21 @@ func BenchController(opts ControllerOptions) (Result, error) {
 	var wg sync.WaitGroup
 	start := time.Now()
 
-	runLoop := func(id int, ask func(bs packet.BSID, clause int) (packet.Tag, error)) {
+	// Each request roots a bench.op span under the registry's sampling
+	// knob: the sampled few carry their context through the wire (or the
+	// in-process call) and come back as complete traces for attribution.
+	rootSp := opts.Obs.SpanName("bench.op")
+	runLoop := func(id int, ask func(sc obs.SpanContext, bs packet.BSID, clause int) (packet.Tag, error)) {
 		defer wg.Done()
 		rng := rand.New(rand.NewSource(int64(id)))
 		var n uint64
 		for !stop.Load() {
 			bs := packet.BSID(rng.Intn(tb.nBS))
 			clause := tb.clauses[rng.Intn(len(tb.clauses))]
-			if _, err := ask(bs, clause); err != nil {
+			sp := rootSp.Root()
+			_, err := ask(sp.Context(), bs, clause)
+			sp.End()
+			if err != nil {
 				break
 			}
 			n++
@@ -200,13 +207,13 @@ func BenchController(opts ControllerOptions) (Result, error) {
 		for i, c := range clients {
 			for w := 0; w < opts.Workers; w++ {
 				wg.Add(1)
-				go runLoop(i*opts.Workers+w, c.RequestPath)
+				go runLoop(i*opts.Workers+w, c.RequestPathCtx)
 			}
 		}
 	} else {
 		for i := 0; i < opts.Agents*opts.Workers; i++ {
 			wg.Add(1)
-			go runLoop(i, tb.ctrl.RequestPath)
+			go runLoop(i, tb.ctrl.RequestPathCtx)
 		}
 	}
 

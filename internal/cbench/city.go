@@ -252,6 +252,13 @@ type CityResult struct {
 
 	// Controller-internal accounting, aggregated across shards.
 	Mem core.MemStats `json:"mem"`
+
+	// Attribution is the per-layer critical-path waterfall over the soak's
+	// sampled traces (DESIGN.md §16): handoffs root an e2e.handoff span
+	// around exactly the region the latency CDF times, so within every
+	// complete trace the segment self-times sum to the measured end-to-end
+	// latency. Absent when the soak ran uninstrumented.
+	Attribution *obs.Attribution `json:"attribution,omitempty"`
 }
 
 // legacyUE mirrors the pre-compaction per-UE controller state: one heap
@@ -482,6 +489,9 @@ func BenchCity(opts CityOptions) (CityResult, error) {
 	runtime.ReadMemStats(&gcBefore)
 	var handoffLat metrics.CDF
 	var releases []pendingRelease
+	// The e2e root spans bracket the same code region the latency CDF
+	// times, so a sampled trace's root duration is the measured latency.
+	spE2E := opts.Obs.SpanName("e2e.handoff")
 	soakStart := time.Now()
 	sec := 0
 	for ; sec < opts.SimSeconds || time.Since(soakStart) < opts.MinWall; sec++ {
@@ -513,7 +523,9 @@ func BenchCity(opts CityOptions) (CityResult, error) {
 			}
 			ue := l[len(l)-1]
 			t0 := time.Now()
-			hr, err := d.Handoff(imsis[ue], packet.BSID(dst))
+			sp := spE2E.Root()
+			hr, err := d.HandoffCtx(sp.Context(), imsis[ue], packet.BSID(dst))
+			sp.End()
 			if err != nil {
 				res.OpErrors++
 				continue
@@ -613,5 +625,9 @@ func BenchCity(opts CityOptions) (CityResult, error) {
 	res.RuleTableMedian = hw.Median()
 	res.RuleTableTotal = hw.Total()
 	res.Mem = d.MemStats()
+	if opts.Obs != nil {
+		a := obs.Attribute(opts.Obs.SpanRecords())
+		res.Attribution = &a
+	}
 	return res, nil
 }

@@ -321,6 +321,17 @@ func (c *Controller) allocLocIP(bs packet.BSID) (packet.UEID, packet.Addr, error
 	return id, loc, nil
 }
 
+// AttachCtx is Attach carrying span context: a sampled trace records the
+// whole ueMu-held admission as one core.attach section (attach is rare
+// enough that its internal lock domains are not broken out the way
+// handoff's are).
+func (c *Controller) AttachCtx(sc obs.SpanContext, imsi string, bs packet.BSID) (UE, []Classifier, error) {
+	sp := c.obs.spAttach.Start(sc)
+	ue, cls, err := c.Attach(imsi, bs)
+	sp.End()
+	return ue, cls, err
+}
+
 // Attach admits a UE at a base station: it allocates a permanent IP on
 // first attach, a location-dependent address, and compiles the per-UE
 // packet classifiers for the local agent.
@@ -422,7 +433,28 @@ func (c *Controller) RequestPath(bs packet.BSID, clause int) (packet.Tag, error)
 		return tag, nil
 	}
 	c.obs.cacheMiss.Inc()
-	return c.requestPathSlow(bs, clause)
+	return c.requestPathSlow(obs.SpanContext{}, bs, clause)
+}
+
+// RequestPathCtx is RequestPath carrying span context. A sampled request
+// records the whole resolution as a core.path section — still allocation
+// free on the cache-hit path (Span is a value type and the ring write is
+// lock-free) — and threads the context into the slow path so the ruleMu
+// domain shows up as its own child section in the waterfall.
+//
+// hotpath: no alloc, no lock
+func (c *Controller) RequestPathCtx(sc obs.SpanContext, bs packet.BSID, clause int) (packet.Tag, error) {
+	sp := c.obs.spPath.Start(sc)
+	c.pathAsks.Add(1)
+	if tag, ok := (*c.tagCache.Load())[pathKey{bs, clause}]; ok {
+		c.obs.cacheHit.Inc()
+		sp.End()
+		return tag, nil
+	}
+	c.obs.cacheMiss.Inc()
+	tag, err := c.requestPathSlow(sp.Context(), bs, clause)
+	sp.End()
+	return tag, err
 }
 
 // requestPathSlow is the miss path: it checks station ownership under the
@@ -430,13 +462,17 @@ func (c *Controller) RequestPath(bs packet.BSID, clause int) (packet.Tag, error)
 // install) the path under the rule-table lock.
 //
 // hotpath: cold
-func (c *Controller) requestPathSlow(bs packet.BSID, clause int) (packet.Tag, error) {
+func (c *Controller) requestPathSlow(sc obs.SpanContext, bs packet.BSID, clause int) (packet.Tag, error) {
 	c.ueMu.RLock()
 	owns := c.ownsLocked(bs)
 	c.ueMu.RUnlock()
 	if !owns {
 		return 0, fmt.Errorf("core: path request from base station %d: %w", bs, ErrNotOwned)
 	}
+	// The core.lock.rule section covers ruleMu wait plus hold; its End is
+	// deferred first so it fires after the unlock.
+	spr := c.obs.spPathRule.Start(sc)
+	defer spr.End()
 	// Sampled lock-domain contention: every Nth slow request times its
 	// ruleMu acquisition against the injected obs clock (virtual clocks
 	// observe 0, keeping deterministic harnesses deterministic).

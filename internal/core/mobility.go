@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/topo"
 )
@@ -226,6 +227,16 @@ type HandoffResult struct {
 // Copying the old station's microflows and wiring the inter-station tunnel
 // is the access layer's job; the dataplane package does both.
 func (c *Controller) Handoff(imsi string, newBS packet.BSID) (HandoffResult, error) {
+	return c.HandoffCtx(obs.SpanContext{}, imsi, newBS)
+}
+
+// HandoffCtx is Handoff carrying span context. A sampled trace records the
+// ueMu-held move as a core.handoff section with one child per nested lock
+// domain — core.handoff.alloc (allocMu) and core.handoff.rule (ruleMu) —
+// so the waterfall shows which lock the move actually spent its time in.
+func (c *Controller) HandoffCtx(sc obs.SpanContext, imsi string, newBS packet.BSID) (HandoffResult, error) {
+	sp := c.obs.spHandoff.Start(sc)
+	defer sp.End()
 	c.ueMu.Lock()
 	defer c.ueMu.Unlock()
 	r, slot, ok := c.ues.get(imsi)
@@ -244,9 +255,11 @@ func (c *Controller) Handoff(imsi string, newBS packet.BSID) (HandoffResult, err
 	}
 	oldBS, oldLoc := r.bs, r.locIP
 
+	spa := c.obs.spHandoffAlloc.Start(sp.Context())
 	c.allocMu.Lock()
 	id, loc, err := c.allocLocIP(newBS)
 	c.allocMu.Unlock()
+	spa.End()
 	if err != nil {
 		return HandoffResult{}, err
 	}
@@ -269,9 +282,11 @@ func (c *Controller) Handoff(imsi string, newBS packet.BSID) (HandoffResult, err
 	// it nests the rule-table lock inside the UE lock (the documented
 	// order).
 	c.reservations[oldLoc] = &reservation{imsi: r.imsi}
+	spr := c.obs.spHandoffRule.Start(sp.Context())
 	c.ruleMu.Lock()
 	res.Shortcuts = c.retargetReservationsLocked(imsi, newStation.Access)
 	c.ruleMu.Unlock()
+	spr.End()
 	c.obs.evHandoff.Emit(int64(oldBS), int64(newBS), int64(len(res.Shortcuts)))
 	return res, nil
 }

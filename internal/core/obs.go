@@ -41,6 +41,17 @@ type coreObs struct {
 	evTagEvict *obs.EventType
 	evHandoff  *obs.EventType
 	evRelease  *obs.EventType
+
+	// Span sections (DESIGN.md §16): recorded only for requests whose
+	// incoming context is sampled, one child per lock domain so the
+	// critical-path waterfall attributes wait + hold time to the lock that
+	// caused it.
+	spPath         *obs.SpanName // whole RequestPathCtx resolution
+	spPathRule     *obs.SpanName // ruleMu wait + hold on the install path
+	spAttach       *obs.SpanName // ueMu-held admission
+	spHandoff      *obs.SpanName // ueMu-held move
+	spHandoffAlloc *obs.SpanName // allocMu section of a handoff
+	spHandoffRule  *obs.SpanName // ruleMu retarget section of a handoff
 }
 
 // boolInt renders a bool as a trace-event argument.
@@ -64,6 +75,11 @@ func newCoreObs(reg *obs.Registry) coreObs {
 	if reg == nil {
 		return coreObs{}
 	}
+	reg.Doc("core.tagcache.hit", "RequestPath answered from the lock-free tag cache")
+	reg.Doc("core.tagcache.miss", "RequestPath that fell through to the install slow path")
+	reg.Doc("core.rules.added", "TCAM entries installed by Algorithm 1 placement")
+	reg.Doc("core.rules.saved", "TCAM entries avoided by multi-dimensional aggregation")
+	reg.Doc("core.lock.rule_wait_ns", "Sampled ruleMu acquisition wait on the install path")
 	return coreObs{
 		reg:        reg,
 		cacheHit:   reg.Counter("core.tagcache.hit"),
@@ -84,5 +100,12 @@ func newCoreObs(reg *obs.Registry) coreObs {
 		evTagEvict: reg.EventType("core.tag.evict", "bs", "dropped"),
 		evHandoff:  reg.EventType("core.handoff.move", "old_bs", "new_bs", "shortcuts"),
 		evRelease:  reg.EventType("core.handoff.release", "loc", "reserved"),
+
+		spPath:         reg.SpanName("core.path"),
+		spPathRule:     reg.SpanName("core.lock.rule"),
+		spAttach:       reg.SpanName("core.attach"),
+		spHandoff:      reg.SpanName("core.handoff"),
+		spHandoffAlloc: reg.SpanName("core.handoff.alloc"),
+		spHandoffRule:  reg.SpanName("core.handoff.rule"),
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/packet"
 )
 
@@ -59,6 +60,12 @@ func (cl *Client) Close() error { return cl.c.Close() }
 // request issues one correlated request under the client's retry policy.
 func (cl *Client) request(typ MsgType, payload []byte) (frame, error) {
 	return cl.c.requestRetry(typ, payload, cl.Timeout, cl.Attempts)
+}
+
+// requestCtx is request carrying span context: the frame ships the
+// trace ids and the round trip is timed under a wire.rtt child span.
+func (cl *Client) requestCtx(sc obs.SpanContext, typ MsgType, payload []byte) (frame, error) {
+	return cl.c.requestCtx(sc, typ, payload, cl.Timeout, cl.Attempts)
 }
 
 // handle serves controller-initiated requests.
@@ -127,7 +134,13 @@ func (cl *Client) ResolveLocIP(perm packet.Addr) (packet.Addr, error) {
 
 // RequestPath implements agent.ControllerClient over the wire.
 func (cl *Client) RequestPath(bs packet.BSID, clause int) (packet.Tag, error) {
-	f, err := cl.request(MsgPathRequest, PathRequest{BS: bs, Clause: uint32(clause)}.marshal())
+	return cl.RequestPathCtx(obs.SpanContext{}, bs, clause)
+}
+
+// RequestPathCtx is RequestPath with span context propagated on the
+// frame, continuing the caller's trace on the far side of the wire.
+func (cl *Client) RequestPathCtx(sc obs.SpanContext, bs packet.BSID, clause int) (packet.Tag, error) {
+	f, err := cl.requestCtx(sc, MsgPathRequest, PathRequest{BS: bs, Clause: uint32(clause)}.marshal())
 	if err != nil {
 		return 0, err
 	}
@@ -140,7 +153,12 @@ func (cl *Client) RequestPath(bs packet.BSID, clause int) (packet.Tag, error) {
 
 // Attach admits a UE through the controller.
 func (cl *Client) Attach(imsi string, bs packet.BSID) (core.UE, []core.Classifier, error) {
-	f, err := cl.request(MsgAttach, marshalJSON(AttachRequest{IMSI: imsi, BS: bs}))
+	return cl.AttachCtx(obs.SpanContext{}, imsi, bs)
+}
+
+// AttachCtx is Attach with span context propagated on the frame.
+func (cl *Client) AttachCtx(sc obs.SpanContext, imsi string, bs packet.BSID) (core.UE, []core.Classifier, error) {
+	f, err := cl.requestCtx(sc, MsgAttach, marshalJSON(AttachRequest{IMSI: imsi, BS: bs}))
 	if err != nil {
 		return core.UE{}, nil, err
 	}
@@ -153,7 +171,12 @@ func (cl *Client) Attach(imsi string, bs packet.BSID) (core.UE, []core.Classifie
 
 // Handoff moves a UE through the controller.
 func (cl *Client) Handoff(imsi string, newBS packet.BSID) (core.HandoffResult, error) {
-	f, err := cl.request(MsgHandoff, marshalJSON(HandoffRequest{IMSI: imsi, NewBS: newBS}))
+	return cl.HandoffCtx(obs.SpanContext{}, imsi, newBS)
+}
+
+// HandoffCtx is Handoff with span context propagated on the frame.
+func (cl *Client) HandoffCtx(sc obs.SpanContext, imsi string, newBS packet.BSID) (core.HandoffResult, error) {
+	f, err := cl.requestCtx(sc, MsgHandoff, marshalJSON(HandoffRequest{IMSI: imsi, NewBS: newBS}))
 	if err != nil {
 		return core.HandoffResult{}, err
 	}

@@ -6,16 +6,22 @@ import (
 )
 
 // FuzzEncodeDecode round-trips arbitrary frames through writeFrame/readFrame:
-// everything the writer accepts must read back identically.
+// everything the writer accepts must read back identically, including the
+// optional span-context header on traced frames.
 func FuzzEncodeDecode(f *testing.F) {
-	f.Add(byte(MsgPathRequest), false, uint32(1), []byte("\x00\x00\x00\x07\x00\x00\x00\x2a"))
-	f.Add(byte(MsgError), true, uint32(0xFFFFFFFF), []byte("boom"))
-	f.Add(byte(0), false, uint32(0), []byte{})
-	f.Fuzz(func(t *testing.T, typ byte, resp bool, reqID uint32, payload []byte) {
-		if len(payload) > MaxFrame-6 {
-			payload = payload[:MaxFrame-6]
+	f.Add(byte(MsgPathRequest), false, uint32(1), uint64(0), uint64(0), []byte("\x00\x00\x00\x07\x00\x00\x00\x2a"))
+	f.Add(byte(MsgError), true, uint32(0xFFFFFFFF), uint64(0), uint64(0), []byte("boom"))
+	f.Add(byte(0), false, uint32(0), uint64(0), uint64(0), []byte{})
+	f.Add(byte(MsgPathRequest), false, uint32(7), uint64(42), uint64(9), []byte("\x00\x00\x00\x07\x00\x00\x00\x2a"))
+	f.Add(byte(MsgHandoff), true, uint32(3), uint64(1<<63), uint64(0xFFFFFFFFFFFFFFFF), []byte("{}"))
+	f.Fuzz(func(t *testing.T, typ byte, resp bool, reqID uint32, trace, span uint64, payload []byte) {
+		if len(payload) > MaxFrame-6-traceBytes {
+			payload = payload[:MaxFrame-6-traceBytes]
 		}
-		in := frame{typ: MsgType(typ), resp: resp, reqID: reqID, payload: payload}
+		if trace == 0 {
+			span = 0 // canonical form: untraced frames carry no span id
+		}
+		in := frame{typ: MsgType(typ), resp: resp, reqID: reqID, trace: trace, span: span, payload: payload}
 		var buf bytes.Buffer
 		if err := writeFrame(&buf, in); err != nil {
 			t.Fatalf("writeFrame rejected an in-range frame: %v", err)
@@ -26,6 +32,9 @@ func FuzzEncodeDecode(f *testing.F) {
 		}
 		if out.typ != in.typ || out.resp != in.resp || out.reqID != in.reqID {
 			t.Fatalf("frame header round-trip mismatch:\n in=%+v\nout=%+v", in, out)
+		}
+		if out.trace != in.trace || out.span != in.span {
+			t.Fatalf("span context round-trip mismatch:\n in=%+v\nout=%+v", in, out)
 		}
 		if !bytes.Equal(out.payload, in.payload) {
 			t.Fatalf("payload round-trip mismatch: in=%x out=%x", in.payload, out.payload)
@@ -45,6 +54,17 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte("\x00\x00\x00\x06\x02\x01\x00\x00\x00\x2a"))
 	f.Add([]byte("\x00\x00\x00\x00"))
 	f.Add([]byte("\xFF\xFF\xFF\xFF\x01\x00"))
+	// A traced path request: flags bit 1 set, 16-byte span context
+	// (trace 5, span 3) between the request id and the payload.
+	f.Add([]byte("\x00\x00\x00\x1e\x03\x02\x00\x00\x00\x07" +
+		"\x00\x00\x00\x00\x00\x00\x00\x05\x00\x00\x00\x00\x00\x00\x00\x03" +
+		"\x00\x00\x00\x07\x00\x00\x00\x2a"))
+	// Traced flag set but the frame is too short to hold the context:
+	// must be rejected, not mis-sliced.
+	f.Add([]byte("\x00\x00\x00\x0a\x03\x02\x00\x00\x00\x07\x00\x00\x00\x05"))
+	// Traced flag with an all-zero trace id: canonically untraced.
+	f.Add([]byte("\x00\x00\x00\x16\x03\x02\x00\x00\x00\x07" +
+		"\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x03"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		in, err := readFrame(bytes.NewReader(data))
 		if err != nil {
@@ -61,7 +81,8 @@ func FuzzReadFrame(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-read: %v", err)
 		}
-		if out.typ != in.typ || out.resp != in.resp || out.reqID != in.reqID || !bytes.Equal(out.payload, in.payload) {
+		if out.typ != in.typ || out.resp != in.resp || out.reqID != in.reqID ||
+			out.trace != in.trace || out.span != in.span || !bytes.Equal(out.payload, in.payload) {
 			t.Fatalf("read/write/read mismatch:\n in=%+v\nout=%+v", in, out)
 		}
 	})

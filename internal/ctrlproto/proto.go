@@ -8,9 +8,15 @@
 //
 //	uint32  frame length (bytes after this field)
 //	uint8   message type
-//	uint8   flags (bit 0: response)
+//	uint8   flags (bit 0: response, bit 1: traced)
 //	uint32  request id (correlates responses; both sides may originate)
+//	[uint64 trace id, uint64 span id — only when the traced flag is set]
 //	payload
+//
+// The optional trace header carries obs span context (DESIGN.md §16)
+// across the wire, so a sampled request's causal tree spans both sides
+// of the channel. Untraced frames — the 1023-in-1024 steady state —
+// pay nothing: the header is absent and the flag bit is zero.
 //
 // The channel is symmetric: the controller can query agents (location
 // recovery, §5.2) over the same connection agents use for requests.
@@ -76,32 +82,51 @@ func (m MsgType) String() string {
 
 const (
 	flagResponse = 1 << 0
+	flagTraced   = 1 << 1
 	headerBytes  = 10 // type(1) + flags(1) + reqID(4) after the length(4)
+	traceBytes   = 16 // trace id(8) + span id(8), present iff flagTraced
 	// MaxFrame bounds a frame so a corrupt peer cannot OOM us.
 	MaxFrame = 1 << 20
 )
 
-// frame is one decoded message.
+// frame is one decoded message. trace/span carry the optional span
+// context; trace 0 means untraced and serialises without the header.
 type frame struct {
 	typ     MsgType
 	resp    bool
 	reqID   uint32
+	trace   uint64
+	span    uint64
 	payload []byte
 }
 
 // appendFrame serialises one frame onto buf.
 func appendFrame(buf []byte, f frame) ([]byte, error) {
-	if len(f.payload) > MaxFrame-headerBytes+4 {
+	if len(f.payload) > MaxFrame-headerBytes-traceBytes+4 {
 		return buf, fmt.Errorf("ctrlproto: payload %d bytes exceeds frame limit", len(f.payload))
 	}
+	n := 6 + len(f.payload)
+	if f.trace != 0 {
+		n += traceBytes
+	}
 	var hdr [10]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(6+len(f.payload)))
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(n))
 	hdr[4] = uint8(f.typ)
 	if f.resp {
-		hdr[5] = flagResponse
+		hdr[5] |= flagResponse
+	}
+	if f.trace != 0 {
+		hdr[5] |= flagTraced
 	}
 	binary.BigEndian.PutUint32(hdr[6:10], f.reqID)
-	return append(append(buf, hdr[:]...), f.payload...), nil
+	buf = append(buf, hdr[:]...)
+	if f.trace != 0 {
+		var tr [traceBytes]byte
+		binary.BigEndian.PutUint64(tr[0:8], f.trace)
+		binary.BigEndian.PutUint64(tr[8:16], f.span)
+		buf = append(buf, tr[:]...)
+	}
+	return append(buf, f.payload...), nil
 }
 
 // writeFrame serialises and writes one frame.
@@ -151,12 +176,27 @@ func readFrameBody(r io.Reader, n uint32) (frame, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return frame{}, err
 	}
-	return frame{
-		typ:     MsgType(body[0]),
-		resp:    body[1]&flagResponse != 0,
-		reqID:   binary.BigEndian.Uint32(body[2:6]),
-		payload: body[6:],
-	}, nil
+	f := frame{
+		typ:   MsgType(body[0]),
+		resp:  body[1]&flagResponse != 0,
+		reqID: binary.BigEndian.Uint32(body[2:6]),
+	}
+	rest := body[6:]
+	if body[1]&flagTraced != 0 {
+		if len(rest) < traceBytes {
+			//lint:ignore hotpath malformed frame tears the connection down; never the steady state
+			return frame{}, fmt.Errorf("ctrlproto: traced frame length %d too short", n)
+		}
+		f.trace = binary.BigEndian.Uint64(rest[0:8])
+		if f.trace != 0 {
+			// A zero trace id is canonically untraced; dropping the span
+			// keeps decode(encode(f)) == f for every accepted frame.
+			f.span = binary.BigEndian.Uint64(rest[8:16])
+		}
+		rest = rest[traceBytes:]
+	}
+	f.payload = rest
+	return f, nil
 }
 
 // PathRequest is the hot-path message: 8 bytes, hand-packed.
@@ -250,6 +290,15 @@ type conn struct {
 	// whichever sender performs the write, and client retransmissions.
 	flushFrames *obs.Histogram
 	retrans     *obs.Counter
+	// Optional span types (nil-safe): group-commit flush sections and
+	// client-side request round trips.
+	flushSpan *obs.SpanName
+	rttSpan   *obs.SpanName
+
+	// Span context of the most recent traced frame awaiting flush; the
+	// flusher that carries it records the wire.flush span under it.
+	wtrace uint64 // guarded by bufMu
+	wspan  uint64 // guarded by bufMu
 
 	mu      sync.Mutex
 	pending map[uint32]chan frame
@@ -277,6 +326,9 @@ func (c *conn) buffer(f frame) error {
 	}
 	c.wbuf = buf
 	c.nbuf++
+	if f.trace != 0 {
+		c.wtrace, c.wspan = f.trace, f.span
+	}
 	return nil
 }
 
@@ -294,13 +346,17 @@ func (c *conn) flush() error {
 	defer c.writeMu.Unlock()
 	c.bufMu.Lock()
 	out, n := c.wbuf, c.nbuf
+	tr, spn := c.wtrace, c.wspan
 	c.wbuf, c.nbuf = nil, 0
+	c.wtrace, c.wspan = 0, 0
 	c.bufMu.Unlock()
 	if len(out) == 0 {
 		return nil
 	}
 	c.flushFrames.Observe(int64(n))
+	sp := c.flushSpan.Start(obs.SpanContext{Trace: obs.TraceID(tr), Span: obs.SpanID(spn)})
 	_, err := c.raw.Write(out)
+	sp.End()
 	c.bufMu.Lock()
 	if c.wbuf == nil {
 		c.wbuf = out[:0] // recycle the batch buffer while the line is idle
@@ -324,10 +380,32 @@ var ErrTimeout = errors.New("ctrlproto: request timed out")
 // request issues a request and blocks for its response (forever, if the
 // connection stays up but silent — the pre-fault-injection behaviour).
 func (c *conn) request(typ MsgType, payload []byte) (frame, error) {
-	return c.requestRetry(typ, payload, 0, 1)
+	return c.requestCtx(obs.SpanContext{}, typ, payload, 0, 1)
 }
 
-// requestRetry issues a request and blocks for its response, retransmitting
+// requestRetry is requestCtx without span context (untraced callers).
+func (c *conn) requestRetry(typ MsgType, payload []byte, timeout time.Duration, attempts int) (frame, error) {
+	return c.requestCtx(obs.SpanContext{}, typ, payload, timeout, attempts)
+}
+
+// requestCtx issues a request carrying span context on its frame and
+// times the round trip under a wire.rtt child span, so attribution can
+// split end-to-end latency into on-the-wire and remote-serve segments.
+// The frame ships the rtt span's context (not the caller's) so the
+// server's serve span and both sides' flush spans nest *inside* the
+// round trip — they happen within it, and attribution's sum invariant
+// needs the tree to say so.
+func (c *conn) requestCtx(sc obs.SpanContext, typ MsgType, payload []byte, timeout time.Duration, attempts int) (frame, error) {
+	sp := c.rttSpan.Start(sc)
+	if sp.Context().Sampled() {
+		sc = sp.Context()
+	}
+	f, err := c.requestRaw(sc, typ, payload, timeout, attempts)
+	sp.End()
+	return f, err
+}
+
+// requestRaw issues a request and blocks for its response, retransmitting
 // with the SAME request id after each timeout until a response arrives or
 // attempts sends have gone unanswered. timeout <= 0 disables the timer (a
 // single send that blocks until the connection dies).
@@ -337,7 +415,7 @@ func (c *conn) request(typ MsgType, payload []byte) (frame, error) {
 // loop silently discards any later duplicates (their reqID no longer has a
 // waiter). Callers are responsible for only retrying operations the remote
 // side can absorb twice.
-func (c *conn) requestRetry(typ MsgType, payload []byte, timeout time.Duration, attempts int) (frame, error) {
+func (c *conn) requestRaw(sc obs.SpanContext, typ MsgType, payload []byte, timeout time.Duration, attempts int) (frame, error) {
 	if attempts <= 0 {
 		attempts = 1
 	}
@@ -363,7 +441,7 @@ func (c *conn) requestRetry(typ MsgType, payload []byte, timeout time.Duration, 
 		if try > 0 {
 			c.retrans.Inc()
 		}
-		if err := c.send(frame{typ: typ, reqID: id, payload: payload}); err != nil {
+		if err := c.send(frame{typ: typ, reqID: id, trace: uint64(sc.Trace), span: uint64(sc.Span), payload: payload}); err != nil {
 			unregister()
 			return frame{}, err
 		}
@@ -426,12 +504,15 @@ func (c *conn) respondError(reqID uint32, err error) error {
 // reply enqueues a response frame without flushing. The server answers
 // pipelined requests with reply and flushes once the connection goes
 // idle, so a burst of n requests costs one response write, not n.
-func (c *conn) reply(reqID uint32, typ MsgType, payload []byte) error {
-	return c.buffer(frame{typ: typ, resp: true, reqID: reqID, payload: payload})
+// Responses echo the request frame's span context, so a traced
+// request's response flush is attributed to its trace.
+func (c *conn) reply(req frame, typ MsgType, payload []byte) error {
+	return c.buffer(frame{typ: typ, resp: true, reqID: req.reqID,
+		trace: req.trace, span: req.span, payload: payload})
 }
 
-func (c *conn) replyError(reqID uint32, err error) error {
-	return c.reply(reqID, MsgError, []byte(err.Error()))
+func (c *conn) replyError(req frame, err error) error {
+	return c.reply(req, MsgError, []byte(err.Error()))
 }
 
 // readLoop dispatches incoming frames: responses to waiters, requests to

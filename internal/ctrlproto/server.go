@@ -23,6 +23,18 @@ type ControlPlane interface {
 	RecoverLocations(reports []core.AgentLocationReport) error
 }
 
+// TracedControlPlane is the optional span-aware extension of
+// ControlPlane. The server type-asserts it and forwards the span
+// context decoded from traced frames, so a trace rooted on the agent
+// side of the wire continues through dispatcher and controller layers.
+// Control planes without it still work — remote traces just end at the
+// wire.serve span.
+type TracedControlPlane interface {
+	AttachCtx(sc obs.SpanContext, imsi string, bs packet.BSID) (core.UE, []core.Classifier, error)
+	HandoffCtx(sc obs.SpanContext, imsi string, newBS packet.BSID) (core.HandoffResult, error)
+	RequestPathCtx(sc obs.SpanContext, bs packet.BSID, clause int) (packet.Tag, error)
+}
+
 // Server exposes a ControlPlane over the control channel. One goroutine
 // pool per connection bounds concurrent request handling, mirroring the
 // worker-thread dimension of the paper's Cbench experiment.
@@ -41,10 +53,12 @@ type Server struct {
 	Requests uint64
 
 	// Wire telemetry handles (nil-safe no-ops); set by Instrument.
-	obsFrames   *obs.Counter
-	obsRequests *obs.Counter
-	obsInflight *obs.Gauge
-	obsFlush    *obs.Histogram
+	obsFrames    *obs.Counter
+	obsRequests  *obs.Counter
+	obsInflight  *obs.Gauge
+	obsFlush     *obs.Histogram
+	obsServe     *obs.SpanName
+	obsFlushSpan *obs.SpanName
 }
 
 // NewServer wraps a control plane (a controller or a shard dispatcher).
@@ -81,6 +95,7 @@ func (s *Server) ServeConn(raw net.Conn) {
 func (s *Server) serveConn(raw net.Conn) {
 	c := newConn(raw)
 	c.flushFrames = s.obsFlush
+	c.flushSpan = s.obsFlushSpan
 	s.mu.Lock()
 	s.conns[c] = 0
 	s.mu.Unlock()
@@ -133,6 +148,24 @@ func (s *Server) serveConn(raw net.Conn) {
 }
 
 func (s *Server) handle(c *conn, f frame) {
+	// Continue the frame's trace: handler work nests under a wire.serve
+	// span, and replies echo the context so the response flush is
+	// attributed too. A frame from an untraced client makes the server
+	// the entry point, so wire.serve takes its own sampling decision
+	// there — a daemon serving only plain clients still populates
+	// /debug/spans. The steady state (unsampled either way) sees only
+	// the zero-span no-op branches.
+	sc := obs.SpanContext{Trace: obs.TraceID(f.trace), Span: obs.SpanID(f.span)}
+	var sp obs.Span
+	if sc.Sampled() {
+		sp = s.obsServe.Start(sc)
+	} else {
+		sp = s.obsServe.Root()
+	}
+	defer sp.End()
+	if sp.Context().Sampled() {
+		sc = sp.Context()
+	}
 	switch f.typ {
 	case MsgHello:
 		if len(f.payload) == 4 {
@@ -142,64 +175,86 @@ func (s *Server) handle(c *conn, f frame) {
 			s.conns[c] = bs
 			s.mu.Unlock()
 		}
-		_ = c.reply(f.reqID, MsgHello, nil)
+		_ = c.reply(f, MsgHello, nil)
 	case MsgEcho:
-		_ = c.reply(f.reqID, MsgEcho, f.payload)
+		_ = c.reply(f, MsgEcho, f.payload)
 	case MsgResolve:
 		if len(f.payload) != 4 {
-			_ = c.replyError(f.reqID, fmt.Errorf("resolve payload %d bytes", len(f.payload)))
+			_ = c.replyError(f, fmt.Errorf("resolve payload %d bytes", len(f.payload)))
 			return
 		}
 		perm := packet.Addr(uint32(f.payload[0])<<24 | uint32(f.payload[1])<<16 |
 			uint32(f.payload[2])<<8 | uint32(f.payload[3]))
 		loc, err := s.Ctrl.ResolveLocIP(perm)
 		if err != nil {
-			_ = c.replyError(f.reqID, err)
+			_ = c.replyError(f, err)
 			return
 		}
 		b := make([]byte, 4)
 		b[0], b[1], b[2], b[3] = byte(loc>>24), byte(loc>>16), byte(loc>>8), byte(loc)
-		_ = c.reply(f.reqID, MsgResolve, b)
+		_ = c.reply(f, MsgResolve, b)
 	case MsgPathRequest:
 		req, err := parsePathRequest(f.payload)
 		if err != nil {
-			_ = c.replyError(f.reqID, err)
+			_ = c.replyError(f, err)
 			return
 		}
-		tag, err := s.Ctrl.RequestPath(req.BS, int(req.Clause))
+		var tag packet.Tag
+		if t, ok := s.Ctrl.(TracedControlPlane); ok {
+			tag, err = t.RequestPathCtx(sc, req.BS, int(req.Clause))
+		} else {
+			tag, err = s.Ctrl.RequestPath(req.BS, int(req.Clause))
+		}
 		if err != nil {
-			_ = c.replyError(f.reqID, err)
+			_ = c.replyError(f, err)
 			return
 		}
 		atomic.AddUint64(&s.Requests, 1)
 		s.obsRequests.Inc()
-		_ = c.reply(f.reqID, MsgPathRequest, PathReply{Tag: tag}.marshal())
+		_ = c.reply(f, MsgPathRequest, PathReply{Tag: tag}.marshal())
 	case MsgAttach:
 		var req AttachRequest
 		if err := json.Unmarshal(f.payload, &req); err != nil {
-			_ = c.replyError(f.reqID, err)
+			_ = c.replyError(f, err)
 			return
 		}
-		ue, cls, err := s.Ctrl.Attach(req.IMSI, req.BS)
+		var (
+			ue  core.UE
+			cls []core.Classifier
+			err error
+		)
+		if t, ok := s.Ctrl.(TracedControlPlane); ok {
+			ue, cls, err = t.AttachCtx(sc, req.IMSI, req.BS)
+		} else {
+			ue, cls, err = s.Ctrl.Attach(req.IMSI, req.BS)
+		}
 		if err != nil {
-			_ = c.replyError(f.reqID, err)
+			_ = c.replyError(f, err)
 			return
 		}
-		_ = c.reply(f.reqID, MsgAttach, marshalJSON(AttachReply{UE: ue, Classifiers: cls}))
+		_ = c.reply(f, MsgAttach, marshalJSON(AttachReply{UE: ue, Classifiers: cls}))
 	case MsgHandoff:
 		var req HandoffRequest
 		if err := json.Unmarshal(f.payload, &req); err != nil {
-			_ = c.replyError(f.reqID, err)
+			_ = c.replyError(f, err)
 			return
 		}
-		res, err := s.Ctrl.Handoff(req.IMSI, req.NewBS)
+		var (
+			res core.HandoffResult
+			err error
+		)
+		if t, ok := s.Ctrl.(TracedControlPlane); ok {
+			res, err = t.HandoffCtx(sc, req.IMSI, req.NewBS)
+		} else {
+			res, err = s.Ctrl.Handoff(req.IMSI, req.NewBS)
+		}
 		if err != nil {
-			_ = c.replyError(f.reqID, err)
+			_ = c.replyError(f, err)
 			return
 		}
-		_ = c.reply(f.reqID, MsgHandoff, marshalJSON(res))
+		_ = c.reply(f, MsgHandoff, marshalJSON(res))
 	default:
-		_ = c.replyError(f.reqID, fmt.Errorf("unknown message type %s", f.typ))
+		_ = c.replyError(f, fmt.Errorf("unknown message type %s", f.typ))
 	}
 }
 

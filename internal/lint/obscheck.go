@@ -9,12 +9,14 @@ import (
 )
 
 // ObsCheck enforces the telemetry-name discipline of the obs registry
-// (Rules.ObsPkg): every Counter/Gauge/Histogram/EventType registration
-// must pass its name as a string literal — literal names are what keeps
-// the metric namespace greppable and lets this checker see it — matching
-// the lowercase dot-separated grammar, and each literal may appear at
-// exactly one call site, so a metric has one owner and shared handles are
-// shared on purpose. Sub prefixes are validated when literal; computed
+// (Rules.ObsPkg): every Counter/Gauge/Histogram/EventType/SpanName
+// registration must pass its name as a string literal — literal names are
+// what keeps the metric namespace greppable and lets this checker see it
+// — matching the lowercase dot-separated grammar, and each literal may
+// appear at exactly one call site, so a metric has one owner and shared
+// handles are shared on purpose. Doc strings name an already-registered
+// metric, so they get the literal-and-grammar checks without the
+// one-call-site rule. Sub prefixes are validated when literal; computed
 // prefixes (per-shard "shard."+i) are the reason scoping exists and stay
 // legal.
 var ObsCheck = &Analyzer{
@@ -24,9 +26,10 @@ var ObsCheck = &Analyzer{
 }
 
 // obsRegMethods are the Registry methods whose first argument registers a
-// full metric/event name (two segments minimum).
+// full metric/event/span name (two segments minimum).
 var obsRegMethods = map[string]bool{
 	"Counter": true, "Gauge": true, "Histogram": true, "EventType": true,
+	"SpanName": true,
 }
 
 func runObsCheck(prog *Program, rules *Rules, report Reporter) {
@@ -68,6 +71,14 @@ func runObsCheck(prog *Program, rules *Rules, report Reporter) {
 						return true
 					}
 					firstSite[name] = prog.Fset.Position(call.Args[0].Pos())
+				case method == "Doc":
+					if !lit {
+						report(call.Args[0].Pos(),
+							"obs Doc name must be a string literal naming the documented metric")
+					} else if !obsValidName(name, 2) {
+						report(call.Args[0].Pos(),
+							"obs name %q: want lowercase dot-separated segments of [a-z0-9_], at least two", name)
+					}
 				case method == "Sub":
 					if lit && !obsValidName(name, 1) {
 						report(call.Args[0].Pos(),

@@ -13,6 +13,8 @@ type Histogram struct{}
 
 type EventType struct{}
 
+type SpanName struct{}
+
 func (r *Registry) Counter(name string) *Counter { return nil }
 
 func (r *Registry) Gauge(name string) *Gauge { return nil }
@@ -20,5 +22,9 @@ func (r *Registry) Gauge(name string) *Gauge { return nil }
 func (r *Registry) Histogram(name string, bounds ...int64) *Histogram { return nil }
 
 func (r *Registry) EventType(name string, keys ...string) *EventType { return nil }
+
+func (r *Registry) SpanName(name string) *SpanName { return nil }
+
+func (r *Registry) Doc(name, doc string) {}
 
 func (r *Registry) Sub(prefix string) *Registry { return nil }

@@ -19,4 +19,11 @@ func register(r *obs.Registry) {
 	r.Sub("Shard") // want `\[obscheck\] obs Sub prefix "Shard"`
 	sub := r.Sub(dynamic)
 	sub.Counter("scoped.ok")
+	r.SpanName("good.span")
+	r.SpanName("spanless")   // want `\[obscheck\] obs name "spanless": want lowercase`
+	r.SpanName(dynamic)      // want `\[obscheck\] obs SpanName name must be a string literal`
+	r.SpanName("dup.metric") // want `\[obscheck\] obs name "dup\.metric" already registered at .*use\.go:17`
+	r.Doc("good.counter", "documented")
+	r.Doc("Bad.Doc", "grammar checked") // want `\[obscheck\] obs name "Bad\.Doc"`
+	r.Doc(dynamic, "literal checked")   // want `\[obscheck\] obs Doc name must be a string literal`
 }

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Critical-path latency attribution (DESIGN.md §16). Attribute folds
+// sampled span trees into a per-layer waterfall: each span is charged
+// its *self time* — duration minus the summed durations of its direct
+// children — so within one complete trace the self times sum exactly to
+// the root span's duration, and across traces every nanosecond of
+// end-to-end latency is attributed to exactly one layer. Spans are
+// clipped to their parent's window first: an asynchronous section that
+// outlives its parent (a group-commit flush carrying an already-replied
+// frame) is charged only for the part inside the request's window —
+// the overhang is not on this request's critical path.
+
+// Segment is one layer (span name) of the waterfall.
+type Segment struct {
+	Name   string  `json:"name"`
+	Count  int     `json:"count"`
+	SelfNS int64   `json:"self_ns"`     // summed self time across spans
+	Share  float64 `json:"share"`       // SelfNS / Attribution.TotalNS
+	P50NS  int64   `json:"self_p50_ns"` // per-span self-time quantiles
+	P99NS  int64   `json:"self_p99_ns"`
+}
+
+// Attribution is the folded waterfall over a set of span records.
+// Incomplete traces — a ring eviction or drop took the root or an
+// interior parent — are excluded and counted, so the sum invariant
+// (SelfSumNS == TotalNS up to clamping) holds over what remains.
+type Attribution struct {
+	Traces     int       `json:"traces"`
+	Incomplete int       `json:"incomplete_traces"`
+	Spans      int       `json:"spans"`
+	TotalNS    int64     `json:"total_ns"`    // summed root-span durations
+	SelfSumNS  int64     `json:"self_sum_ns"` // summed segment self times
+	Segments   []Segment `json:"segments"`
+}
+
+// Attribute folds span records (Registry.SpanRecords) into a per-layer
+// attribution. Output is deterministic: segments sort by name and every
+// quantile is a nearest-rank pick from exact integer self times.
+func Attribute(recs []SpanRecord) Attribution {
+	byTrace := make(map[TraceID][]SpanRecord)
+	for _, rec := range recs {
+		byTrace[rec.Trace] = append(byTrace[rec.Trace], rec)
+	}
+	traces := make([]TraceID, 0, len(byTrace))
+	for id := range byTrace {
+		traces = append(traces, id)
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i] < traces[j] })
+
+	var a Attribution
+	selfs := make(map[string][]int64)
+	for _, id := range traces {
+		spans := byTrace[id]
+		present := make(map[SpanID]bool, len(spans))
+		children := make(map[SpanID][]int, len(spans))
+		rootIdx := -1
+		complete := true
+		for i := range spans {
+			present[spans[i].Span] = true
+			if spans[i].Parent == 0 {
+				if rootIdx >= 0 {
+					complete = false
+				}
+				rootIdx = i
+			}
+		}
+		if rootIdx < 0 {
+			complete = false
+		}
+		for i := range spans {
+			if spans[i].Parent != 0 && !present[spans[i].Parent] {
+				complete = false
+			}
+			children[spans[i].Parent] = append(children[spans[i].Parent], i)
+		}
+		if !complete {
+			a.Incomplete++
+			continue
+		}
+		root := spans[rootIdx]
+		a.Traces++
+		a.Spans += len(spans)
+		a.TotalNS += root.End - root.Start
+		// Walk the tree clipping each span to its parent's window; self
+		// is the clipped duration minus the clipped direct children.
+		// Span IDs grow parent-before-child (counter allocation), so the
+		// parent map cannot cycle.
+		var walk func(i int, ws, we int64)
+		walk = func(i int, ws, we int64) {
+			cs, ce := clip(spans[i].Start, spans[i].End, ws, we)
+			var kids int64
+			for _, j := range children[spans[i].Span] {
+				ks, ke := clip(spans[j].Start, spans[j].End, cs, ce)
+				kids += ke - ks
+				walk(j, cs, ce)
+			}
+			self := ce - cs - kids
+			if self < 0 {
+				self = 0
+			}
+			selfs[spans[i].Name] = append(selfs[spans[i].Name], self)
+		}
+		walk(rootIdx, root.Start, root.End)
+	}
+
+	names := make([]string, 0, len(selfs))
+	for name := range selfs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		vs := selfs[name]
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		var sum int64
+		for _, v := range vs {
+			sum += v
+		}
+		seg := Segment{
+			Name:   name,
+			Count:  len(vs),
+			SelfNS: sum,
+			P50NS:  quantile(vs, 50),
+			P99NS:  quantile(vs, 99),
+		}
+		if a.TotalNS > 0 {
+			seg.Share = float64(sum) / float64(a.TotalNS)
+		}
+		a.SelfSumNS += sum
+		a.Segments = append(a.Segments, seg)
+	}
+	return a
+}
+
+// clip intersects [s,e] with the window [ws,we], collapsing to an empty
+// interval at the window edge when they do not overlap.
+func clip(s, e, ws, we int64) (int64, int64) {
+	if s < ws {
+		s = ws
+	}
+	if e > we {
+		e = we
+	}
+	if e < s {
+		e = s
+	}
+	return s, e
+}
+
+// quantile is the nearest-rank pick from an ascending-sorted slice.
+func quantile(sorted []int64, pct int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[(len(sorted)-1)*pct/100]
+}
+
+// JSON renders the attribution with stable field order and indentation.
+func (a Attribution) JSON() []byte {
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		// Attribution holds only scalars and slices; this cannot fail.
+		panic("obs: attribution marshal: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// Waterfall renders the attribution as a fixed-width text table, widest
+// layers first — the form softcell-bench -attr prints and /debug/spans
+// serves with ?format=waterfall.
+func (a Attribution) Waterfall() string {
+	var buf bytes.Buffer
+	buf.WriteString("critical-path attribution: ")
+	buf.WriteString(strconv.Itoa(a.Traces))
+	buf.WriteString(" traces, ")
+	buf.WriteString(strconv.Itoa(a.Spans))
+	buf.WriteString(" spans")
+	if a.Incomplete > 0 {
+		buf.WriteString(" (")
+		buf.WriteString(strconv.Itoa(a.Incomplete))
+		buf.WriteString(" incomplete traces excluded)")
+	}
+	buf.WriteString("\n")
+	buf.WriteString(padRight("layer", 28))
+	buf.WriteString(padLeft("count", 8))
+	buf.WriteString(padLeft("self", 12))
+	buf.WriteString(padLeft("share", 8))
+	buf.WriteString(padLeft("p50", 12))
+	buf.WriteString(padLeft("p99", 12))
+	buf.WriteString("\n")
+	segs := append([]Segment(nil), a.Segments...)
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].SelfNS != segs[j].SelfNS {
+			return segs[i].SelfNS > segs[j].SelfNS
+		}
+		return segs[i].Name < segs[j].Name
+	})
+	for _, seg := range segs {
+		buf.WriteString(padRight(seg.Name, 28))
+		buf.WriteString(padLeft(strconv.Itoa(seg.Count), 8))
+		buf.WriteString(padLeft(time.Duration(seg.SelfNS).String(), 12))
+		buf.WriteString(padLeft(strconv.FormatFloat(seg.Share*100, 'f', 1, 64)+"%", 8))
+		buf.WriteString(padLeft(time.Duration(seg.P50NS).String(), 12))
+		buf.WriteString(padLeft(time.Duration(seg.P99NS).String(), 12))
+		buf.WriteString("\n")
+	}
+	buf.WriteString(padRight("end-to-end", 28))
+	buf.WriteString(padLeft(strconv.Itoa(a.Traces), 8))
+	buf.WriteString(padLeft(time.Duration(a.TotalNS).String(), 12))
+	buf.WriteString(padLeft("100.0%", 8))
+	buf.WriteString("\n")
+	return buf.String()
+}
+
+func padRight(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+func padLeft(s string, w int) string {
+	for len(s) < w {
+		s = " " + s
+	}
+	return s + "  "
+}

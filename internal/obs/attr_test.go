@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// rec builds a SpanRecord tersely for table tests.
+func rec(trace, span, parent uint64, name string, start, end int64) SpanRecord {
+	return SpanRecord{
+		Trace: TraceID(trace), Span: SpanID(span), Parent: SpanID(parent),
+		Name: name, Start: start, End: end,
+	}
+}
+
+func TestAttributeSelfTimes(t *testing.T) {
+	// One trace: root [0,100] with children queue [10,30] and core
+	// [40,90]; core has child rule [50,70].
+	recs := []SpanRecord{
+		rec(1, 1, 0, "e2e.op", 0, 100),
+		rec(1, 2, 1, "shard.queue.wait", 10, 30),
+		rec(1, 3, 1, "core.op", 40, 90),
+		rec(1, 4, 3, "core.lock.rule", 50, 70),
+	}
+	a := Attribute(recs)
+	if a.Traces != 1 || a.Incomplete != 0 || a.Spans != 4 {
+		t.Fatalf("trace accounting: %+v", a)
+	}
+	if a.TotalNS != 100 {
+		t.Fatalf("TotalNS %d, want 100", a.TotalNS)
+	}
+	if a.SelfSumNS != a.TotalNS {
+		t.Fatalf("self times sum to %d, want root duration %d", a.SelfSumNS, a.TotalNS)
+	}
+	want := map[string]int64{
+		"e2e.op":           30, // 100 - 20 - 50
+		"shard.queue.wait": 20,
+		"core.op":          30, // 50 - 20
+		"core.lock.rule":   20,
+	}
+	for _, seg := range a.Segments {
+		if seg.SelfNS != want[seg.Name] {
+			t.Errorf("%s self %d, want %d", seg.Name, seg.SelfNS, want[seg.Name])
+		}
+		if seg.Count != 1 {
+			t.Errorf("%s count %d, want 1", seg.Name, seg.Count)
+		}
+	}
+	// Segments are name-sorted for deterministic output.
+	for i := 1; i < len(a.Segments); i++ {
+		if a.Segments[i-1].Name >= a.Segments[i].Name {
+			t.Fatalf("segments not sorted: %q >= %q", a.Segments[i-1].Name, a.Segments[i].Name)
+		}
+	}
+}
+
+func TestAttributeIncompleteTraces(t *testing.T) {
+	recs := []SpanRecord{
+		// Complete trace.
+		rec(1, 1, 0, "e2e.op", 0, 10),
+		// Orphan child: its root was evicted from the ring.
+		rec(2, 3, 2, "core.op", 0, 5),
+		// Two roots in one trace: ambiguous, excluded.
+		rec(3, 4, 0, "e2e.op", 0, 5),
+		rec(3, 5, 0, "e2e.op", 5, 9),
+	}
+	a := Attribute(recs)
+	if a.Traces != 1 || a.Incomplete != 2 {
+		t.Fatalf("want 1 complete + 2 incomplete, got %+v", a)
+	}
+	if a.TotalNS != 10 || a.SelfSumNS != 10 {
+		t.Fatalf("totals over complete traces only: %+v", a)
+	}
+}
+
+func TestAttributeQuantiles(t *testing.T) {
+	var recs []SpanRecord
+	// 100 single-span traces with self times 1..100.
+	for i := 1; i <= 100; i++ {
+		recs = append(recs, rec(uint64(i), uint64(i), 0, "e2e.op", 0, int64(i)))
+	}
+	a := Attribute(recs)
+	if len(a.Segments) != 1 {
+		t.Fatalf("want one segment, got %d", len(a.Segments))
+	}
+	seg := a.Segments[0]
+	if seg.P50NS != 50 || seg.P99NS != 99 {
+		t.Fatalf("p50 %d p99 %d, want 50 and 99 (nearest rank)", seg.P50NS, seg.P99NS)
+	}
+	if seg.Share != 1.0 {
+		t.Fatalf("single-layer share %f, want 1", seg.Share)
+	}
+}
+
+func TestAttributeNegativeSelfClamped(t *testing.T) {
+	// Child reported longer than its parent (clock skew between
+	// goroutines under a coarse clock): self clamps at zero rather
+	// than going negative.
+	recs := []SpanRecord{
+		rec(1, 1, 0, "e2e.op", 0, 10),
+		rec(1, 2, 1, "core.op", 0, 15),
+	}
+	a := Attribute(recs)
+	for _, seg := range a.Segments {
+		if seg.SelfNS < 0 {
+			t.Fatalf("negative self time: %+v", seg)
+		}
+	}
+}
+
+func TestAttributeClipsAsyncOverhang(t *testing.T) {
+	// A group-commit flush span outlives the serve span that parents it:
+	// only the overlap is on this request's critical path, so the sum
+	// invariant must hold anyway.
+	recs := []SpanRecord{
+		rec(1, 1, 0, "e2e.op", 0, 100),
+		rec(1, 2, 1, "wire.serve", 10, 20),
+		rec(1, 3, 2, "wire.flush", 15, 80), // 65ns long, 5ns inside its parent
+	}
+	a := Attribute(recs)
+	if a.SelfSumNS != a.TotalNS {
+		t.Fatalf("self sum %d, want root duration %d", a.SelfSumNS, a.TotalNS)
+	}
+	want := map[string]int64{"e2e.op": 90, "wire.serve": 5, "wire.flush": 5}
+	for _, seg := range a.Segments {
+		if seg.SelfNS != want[seg.Name] {
+			t.Errorf("%s self %d, want %d", seg.Name, seg.SelfNS, want[seg.Name])
+		}
+	}
+}
+
+func TestAttributionDeterministicJSONAndWaterfall(t *testing.T) {
+	recs := []SpanRecord{
+		rec(1, 1, 0, "e2e.op", 0, 100),
+		rec(1, 2, 1, "core.op", 10, 60),
+	}
+	a, b := Attribute(recs), Attribute(recs)
+	if !bytes.Equal(a.JSON(), b.JSON()) {
+		t.Fatal("identical inputs must render identical JSON")
+	}
+	w := a.Waterfall()
+	for _, want := range []string{"e2e.op", "core.op", "end-to-end", "share"} {
+		if !strings.Contains(w, want) {
+			t.Fatalf("waterfall missing %q:\n%s", want, w)
+		}
+	}
+	// Widest layer prints first: core.op holds 50 of 100ns self time,
+	// e2e.op the other 50 — ties break by name, core.op < e2e.op.
+	if strings.Index(w, "core.op") > strings.Index(w, "e2e.op") {
+		t.Fatalf("waterfall not sorted by self time:\n%s", w)
+	}
+	if Attribute(nil).Waterfall() == "" {
+		t.Fatal("empty attribution must still render a header")
+	}
+}

@@ -49,3 +49,38 @@ func BenchmarkObsOverhead(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkSpanNotSampled pins the tracing fast path for the
+// 1023-in-1024 unsampled requests: one atomic load plus one atomic add
+// for the root decision, a single compare for child starts and ends.
+// make verify fails if this reports any allocations (span-alloc-gate).
+func BenchmarkSpanNotSampled(b *testing.B) {
+	r := New()
+	r.SetSpanSampling(1 << 30)
+	root := r.SpanName("bench.span.root")
+	child := r.SpanName("bench.span.child")
+	root.Root().End() // burn the always-sampled first attempt
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := root.Root()
+		c := child.Start(sp.Context())
+		c.End()
+		sp.End()
+	}
+}
+
+// BenchmarkSpanSampled prices a fully recorded parent+child pair:
+// ID allocation, two clock reads each, and two seqlock ring writes.
+func BenchmarkSpanSampled(b *testing.B) {
+	r := New()
+	r.SetSpanSampling(1)
+	root := r.SpanName("bench.span.sampled.root")
+	child := r.SpanName("bench.span.sampled.child")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := root.Root()
+		c := child.Start(sp.Context())
+		c.End()
+		sp.End()
+	}
+}

@@ -3,13 +3,19 @@ package obs
 import (
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // DebugHandler serves a registry for live introspection:
 //
 //	/metrics        Prometheus text exposition of the current snapshot
 //	/debug/snapshot the Snapshot as JSON
-//	/debug/events   the retained trace ring as JSON, oldest first
+//	/debug/events   the retained trace ring as JSON, oldest first;
+//	                ?since=<seq> tails incrementally and wraps the
+//	                events with the next poll cursor
+//	/debug/spans    the retained sampled spans plus their critical-path
+//	                attribution as JSON; ?format=waterfall renders the
+//	                attribution as a text table
 //	/debug/pprof/   the standard runtime profiles
 //
 // softcelld mounts it behind -debug-addr (off by default — the endpoints
@@ -32,8 +38,46 @@ func DebugHandler(r *Registry) http.Handler {
 		}
 	})
 	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, req *http.Request) {
+		if raw := req.URL.Query().Get("since"); raw != "" {
+			since, err := strconv.ParseUint(raw, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since cursor", http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if _, err := w.Write(r.TraceJSONSince(since)); err != nil {
+				return
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := r.WriteTrace(w); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, req *http.Request) {
+		attr := Attribute(r.SpanRecords())
+		if req.URL.Query().Get("format") == "waterfall" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if _, err := w.Write([]byte(attr.Waterfall())); err != nil {
+				return
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write([]byte("{\"attribution\":")); err != nil {
+			return
+		}
+		if _, err := w.Write(attr.JSON()); err != nil {
+			return
+		}
+		if _, err := w.Write([]byte(",\"spans\":")); err != nil {
+			return
+		}
+		if err := r.WriteSpans(w); err != nil {
+			return
+		}
+		if _, err := w.Write([]byte("}\n")); err != nil {
 			return
 		}
 	})

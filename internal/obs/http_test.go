@@ -87,6 +87,76 @@ func TestDebugEventsEndpoint(t *testing.T) {
 	}
 }
 
+func TestDebugEventsSinceEndpoint(t *testing.T) {
+	r, srv := debugServer(t)
+	ev := r.EventType("debug.ev", "n")
+	ev.Emit(8)
+	ev.Emit(9)
+	// Cursor past the first two events: only seq 2 remains, and the
+	// payload carries the cursor for the next poll.
+	body, _ := get(t, srv.URL+"/debug/events?since=2")
+	var page struct {
+		Next   uint64           `json:"next"`
+		Events []map[string]any `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatalf("incremental events not JSON: %v\n%s", err, body)
+	}
+	if page.Next != 3 {
+		t.Fatalf("next cursor %d, want 3", page.Next)
+	}
+	if len(page.Events) != 1 || page.Events[0]["seq"] != float64(2) || page.Events[0]["n"] != float64(9) {
+		t.Fatalf("incremental page = %+v", page.Events)
+	}
+	// Polling from the returned cursor drains nothing new.
+	body, _ = get(t, srv.URL+"/debug/events?since=3")
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Events) != 0 || page.Next != 3 {
+		t.Fatalf("tail poll = next %d, %d events", page.Next, len(page.Events))
+	}
+	if resp, err := http.Get(srv.URL + "/debug/events?since=nope"); err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad cursor must 400, got %v %v", resp.StatusCode, err)
+	}
+}
+
+func TestDebugSpansEndpoint(t *testing.T) {
+	r, srv := debugServer(t)
+	r.SetSpanSampling(1)
+	root := r.SpanName("debug.span.op")
+	child := r.SpanName("debug.span.inner")
+	sp := root.Root()
+	child.Start(sp.Context()).End()
+	sp.End()
+
+	body, ctype := get(t, srv.URL+"/debug/spans")
+	if ctype != "application/json" {
+		t.Fatalf("content type %q", ctype)
+	}
+	var page struct {
+		Attribution Attribution  `json:"attribution"`
+		Spans       []SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatalf("spans not JSON: %v\n%s", err, body)
+	}
+	if len(page.Spans) != 2 || page.Attribution.Traces != 1 {
+		t.Fatalf("span page = %+v", page)
+	}
+	if page.Spans[0].Name != "debug.span.op" {
+		t.Fatalf("spans[0] = %+v", page.Spans[0])
+	}
+
+	text, ctype := get(t, srv.URL+"/debug/spans?format=waterfall")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("waterfall content type %q", ctype)
+	}
+	if !strings.Contains(text, "debug.span.inner") || !strings.Contains(text, "end-to-end") {
+		t.Fatalf("waterfall missing layers:\n%s", text)
+	}
+}
+
 func TestDebugPprofEndpoint(t *testing.T) {
 	_, srv := debugServer(t)
 	body, _ := get(t, srv.URL+"/debug/pprof/")

@@ -55,7 +55,9 @@ type state struct {
 	counters map[string]*Counter   // guarded by mu
 	gauges   map[string]*Gauge     // guarded by mu
 	hists    map[string]*Histogram // guarded by mu
+	docs     map[string]string     // guarded by mu; metric help strings
 	tracer   *Tracer
+	spans    *spanTable
 }
 
 // New creates an empty registry. The clock starts at a constant zero;
@@ -65,7 +67,9 @@ func New() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		docs:     make(map[string]string),
 		tracer:   newTracer(defaultTraceCap),
+		spans:    newSpanTable(),
 	}
 	zero := clockFunc(func() int64 { return 0 })
 	st.clock.Store(&zero)
@@ -284,6 +288,23 @@ func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
 	return h
 }
 
+// Doc attaches a help string to a metric name (the view prefix applies).
+// The Prometheus exporter emits it as a `# HELP` line ahead of `# TYPE`.
+// Docs are optional; re-registering the same doc is a no-op and a
+// conflicting doc for the same name panics — one metric, one meaning.
+func (r *Registry) Doc(name, doc string) {
+	if r == nil {
+		return
+	}
+	full := r.full(name)
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	if prev, ok := r.st.docs[full]; ok && prev != doc {
+		panic("obs: conflicting help for " + quote(full))
+	}
+	r.st.docs[full] = doc
+}
+
 // full validates a registration name and applies the view prefix.
 func (r *Registry) full(name string) string {
 	if !validName(name, 2) {
@@ -366,6 +387,7 @@ type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Help       map[string]string            `json:"help,omitempty"`
 }
 
 // Snapshot copies every metric's current value. Counters are read with
@@ -404,6 +426,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.st.hists {
 		hs = append(hs, namedHist{name, h})
+	}
+	if len(r.st.docs) > 0 {
+		s.Help = make(map[string]string, len(r.st.docs))
+		for name, doc := range r.st.docs {
+			s.Help[name] = doc
+		}
 	}
 	r.st.mu.Unlock()
 	for _, nc := range cs {

@@ -14,6 +14,11 @@ import (
 // sorted by name, so identical snapshots render identically.
 func WritePrometheus(w io.Writer, s Snapshot) error {
 	var buf bytes.Buffer
+	help := func(name, m string) {
+		if doc, ok := s.Help[name]; ok && doc != "" {
+			buf.WriteString("# HELP " + m + " " + escapeHelp(doc) + "\n")
+		}
+	}
 	names := make([]string, 0, len(s.Counters))
 	for name := range s.Counters {
 		names = append(names, name)
@@ -21,6 +26,7 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	sort.Strings(names)
 	for _, name := range names {
 		m := promName(name)
+		help(name, m)
 		buf.WriteString("# TYPE " + m + " counter\n")
 		buf.WriteString(m + " " + strconv.FormatUint(s.Counters[name], 10) + "\n")
 	}
@@ -31,6 +37,7 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	sort.Strings(names)
 	for _, name := range names {
 		m := promName(name)
+		help(name, m)
 		buf.WriteString("# TYPE " + m + " gauge\n")
 		buf.WriteString(m + " " + strconv.FormatInt(s.Gauges[name], 10) + "\n")
 	}
@@ -42,6 +49,7 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	for _, name := range names {
 		h := s.Histograms[name]
 		m := promName(name)
+		help(name, m)
 		buf.WriteString("# TYPE " + m + " histogram\n")
 		var cum uint64
 		for i, bound := range h.Bounds {
@@ -60,4 +68,11 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 // promName maps a dot-separated obs name to a Prometheus metric name.
 func promName(name string) string {
 	return strings.ReplaceAll(name, ".", "_")
+}
+
+// escapeHelp escapes a help string per the exposition format: backslash
+// and newline are the only characters HELP lines must escape.
+func escapeHelp(doc string) string {
+	doc = strings.ReplaceAll(doc, `\`, `\\`)
+	return strings.ReplaceAll(doc, "\n", `\n`)
 }

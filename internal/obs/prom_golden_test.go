@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+// TestWritePrometheusGolden pins the exact text exposition — HELP and
+// TYPE lines, cumulative le buckets, +Inf, _sum/_count — against a
+// checked-in golden file. Scrape-format regressions (ordering, spacing,
+// escaping) show up as a byte diff, not as a broken dashboard.
+// Regenerate deliberately with: go test ./internal/obs -run Golden -update-golden
+func TestWritePrometheusGolden(t *testing.T) {
+	r := New()
+	c := r.Counter("golden.requests.total")
+	r.Doc("golden.requests.total", "Requests handled since start")
+	g := r.Gauge("golden.queue.depth")
+	r.Doc("golden.queue.depth", `Live queue depth; escapes \ and
+newlines`)
+	h := r.Histogram("golden.latency.ns", 100, 1000, 10000)
+	r.Doc("golden.latency.ns", "Request latency in nanoseconds")
+	r.Counter("golden.undocumented.total") // no Doc: no HELP line
+
+	c.Add(42)
+	g.Set(-3)
+	for _, v := range []int64{50, 50, 500, 5000, 50000} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "prom_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition differs from golden file %s:\n--- got ---\n%s--- want ---\n%s",
+			path, buf.Bytes(), want)
+	}
+}

@@ -166,20 +166,8 @@ func (r *Registry) TraceJSON() []byte {
 	if r != nil {
 		events := r.st.tracer.snapshot()
 		for i, ev := range events {
-			buf.WriteString("  {\"seq\":")
-			buf.WriteString(strconv.FormatUint(ev.seq, 10))
-			buf.WriteString(",\"t\":")
-			buf.WriteString(strconv.FormatInt(ev.time, 10))
-			buf.WriteString(",\"type\":\"")
-			buf.WriteString(ev.typ.name)
-			buf.WriteString("\"")
-			for k := 0; k < ev.n; k++ {
-				buf.WriteString(",\"")
-				buf.WriteString(ev.typ.keys[k])
-				buf.WriteString("\":")
-				buf.WriteString(strconv.FormatInt(ev.args[k], 10))
-			}
-			buf.WriteString("}")
+			buf.WriteString("  ")
+			appendEvent(&buf, ev)
 			if i < len(events)-1 {
 				buf.WriteString(",")
 			}
@@ -187,6 +175,66 @@ func (r *Registry) TraceJSON() []byte {
 		}
 	}
 	buf.WriteString("]\n")
+	return buf.Bytes()
+}
+
+// appendEvent writes one event object in the hand-built deterministic
+// encoding shared by TraceJSON and TraceJSONSince.
+func appendEvent(buf *bytes.Buffer, ev event) {
+	buf.WriteString("{\"seq\":")
+	buf.WriteString(strconv.FormatUint(ev.seq, 10))
+	buf.WriteString(",\"t\":")
+	buf.WriteString(strconv.FormatInt(ev.time, 10))
+	buf.WriteString(",\"type\":\"")
+	buf.WriteString(ev.typ.name)
+	buf.WriteString("\"")
+	for k := 0; k < ev.n; k++ {
+		buf.WriteString(",\"")
+		buf.WriteString(ev.typ.keys[k])
+		buf.WriteString("\":")
+		buf.WriteString(strconv.FormatInt(ev.args[k], 10))
+	}
+	buf.WriteString("}")
+}
+
+// TraceJSONSince renders the retained events whose sequence number is
+// >= since, wrapped with the cursor a poller should pass next time:
+//
+//	{"next":42,
+//	"events":[
+//	  {"seq":40,...},
+//	  {"seq":41,...}
+//	]}
+//
+// Polling with the returned cursor tails the ring incrementally without
+// re-downloading the full dump; events evicted between polls are simply
+// absent (seq gaps tell the poller how many it lost).
+func (r *Registry) TraceJSONSince(since uint64) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("{\"next\":")
+	if r == nil {
+		buf.WriteString("0,\n\"events\":[\n]}\n")
+		return buf.Bytes()
+	}
+	events := r.st.tracer.snapshot()
+	next := r.TraceLen()
+	buf.WriteString(strconv.FormatUint(next, 10))
+	buf.WriteString(",\n\"events\":[\n")
+	kept := events[:0]
+	for _, ev := range events {
+		if ev.seq >= since {
+			kept = append(kept, ev)
+		}
+	}
+	for i, ev := range kept {
+		buf.WriteString("  ")
+		appendEvent(&buf, ev)
+		if i < len(kept)-1 {
+			buf.WriteString(",")
+		}
+		buf.WriteString("\n")
+	}
+	buf.WriteString("]}\n")
 	return buf.Bytes()
 }
 

@@ -252,10 +252,31 @@ func (d *Dispatcher) RegisterSubscriber(imsi string, attr policy.Attributes) err
 }
 
 // RequestPath resolves a policy path through the owning shard's queue —
-// the sharded hot path. A request caught by a concurrent failover (a dead
-// shard, or its tripped breaker failing fast) is retried once against the
-// fresh ring.
+// the sharded hot path. As an in-process entry point it makes the trace
+// root-sampling decision (one request in every Registry.SpanSampling);
+// wire-originated requests come through RequestPathCtx instead and join
+// their frame's trace.
 func (d *Dispatcher) RequestPath(bs packet.BSID, clause int) (packet.Tag, error) {
+	sp := d.obs.spPath.Root()
+	tag, err := d.requestPath(sp.Context(), bs, clause)
+	sp.End()
+	return tag, err
+}
+
+// RequestPathCtx is RequestPath continuing the caller's trace (it makes
+// no sampling decision of its own). With the zero context it behaves
+// exactly like an unsampled RequestPath.
+func (d *Dispatcher) RequestPathCtx(sc obs.SpanContext, bs packet.BSID, clause int) (packet.Tag, error) {
+	sp := d.obs.spPath.Start(sc)
+	tag, err := d.requestPath(sp.Context(), bs, clause)
+	sp.End()
+	return tag, err
+}
+
+// requestPath routes one path request, retrying once when it was caught
+// by a concurrent failover (a dead shard, or its tripped breaker failing
+// fast) against the fresh ring.
+func (d *Dispatcher) requestPath(sc obs.SpanContext, bs packet.BSID, clause int) (packet.Tag, error) {
 	for attempt := 0; ; attempt++ {
 		s, err := d.ShardOf(bs)
 		if err != nil {
@@ -263,6 +284,7 @@ func (d *Dispatcher) RequestPath(bs packet.BSID, clause int) (packet.Tag, error)
 		}
 		w := getWork(opPath)
 		w.bs, w.clause = bs, clause
+		w.sc = sc
 		s.do(w)
 		tag, err := w.tag, w.err
 		putWork(w)
@@ -329,7 +351,24 @@ func (d *Dispatcher) setPerm(perm packet.Addr, imsi string) {
 // Attach admits a UE at a base station, routing to the station's owner.
 // When the UE's record lives on a different shard (a previous attach or a
 // detached record), it is migrated first so the permanent IP survives.
+// Like RequestPath, the in-process entry point makes the root-sampling
+// decision; AttachCtx joins an existing trace.
 func (d *Dispatcher) Attach(imsi string, bs packet.BSID) (core.UE, []core.Classifier, error) {
+	sp := d.obs.spAttach.Root()
+	ue, cls, err := d.attach(sp.Context(), imsi, bs)
+	sp.End()
+	return ue, cls, err
+}
+
+// AttachCtx is Attach continuing the caller's trace.
+func (d *Dispatcher) AttachCtx(sc obs.SpanContext, imsi string, bs packet.BSID) (core.UE, []core.Classifier, error) {
+	sp := d.obs.spAttach.Start(sc)
+	ue, cls, err := d.attach(sp.Context(), imsi, bs)
+	sp.End()
+	return ue, cls, err
+}
+
+func (d *Dispatcher) attach(sc obs.SpanContext, imsi string, bs packet.BSID) (core.UE, []core.Classifier, error) {
 	target, err := d.ShardOf(bs)
 	if err != nil {
 		return core.UE{}, nil, err
@@ -338,11 +377,11 @@ func (d *Dispatcher) Attach(imsi string, bs packet.BSID) (core.UE, []core.Classi
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.shard != nil && e.shard != target && !e.shard.Down() {
-		mig, err := d.extract(e.shard, imsi)
+		mig, err := d.extract(sc, e.shard, imsi)
 		if err != nil {
 			return core.UE{}, nil, err
 		}
-		ue, cls, err := d.adopt(target, mig, bs)
+		ue, cls, err := d.adopt(sc, target, mig, bs)
 		if err != nil {
 			return core.UE{}, nil, err
 		}
@@ -351,6 +390,7 @@ func (d *Dispatcher) Attach(imsi string, bs packet.BSID) (core.UE, []core.Classi
 	}
 	w := getWork(opAttach)
 	w.imsi, w.bs = imsi, bs
+	w.sc = sc
 	target.do(w)
 	ue, cls, err := w.ue, w.cls, w.err
 	putWork(w)
@@ -456,10 +496,14 @@ func (d *Dispatcher) RecoverLocations(reports []core.AgentLocationReport) error 
 	return nil
 }
 
-// extract runs phase one of a migration on the source shard.
-func (d *Dispatcher) extract(s *Shard, imsi string) (core.MigratedUE, error) {
+// extract runs phase one of a migration on the source shard. The span
+// context times the source queue wait under the migration's trace (the
+// controller-side extract itself is untraced — it is rare, protocol-
+// internal work).
+func (d *Dispatcher) extract(sc obs.SpanContext, s *Shard, imsi string) (core.MigratedUE, error) {
 	w := getWork(opExtract)
 	w.imsi = imsi
+	w.sc = sc
 	s.do(w)
 	mig, err := w.mig, w.err
 	putWork(w)
@@ -467,9 +511,10 @@ func (d *Dispatcher) extract(s *Shard, imsi string) (core.MigratedUE, error) {
 }
 
 // adopt runs phase two of a migration on the target shard.
-func (d *Dispatcher) adopt(s *Shard, mig core.MigratedUE, bs packet.BSID) (core.UE, []core.Classifier, error) {
+func (d *Dispatcher) adopt(sc obs.SpanContext, s *Shard, mig core.MigratedUE, bs packet.BSID) (core.UE, []core.Classifier, error) {
 	w := getWork(opAdopt)
 	w.mig, w.bs = mig, bs
+	w.sc = sc
 	s.do(w)
 	ue, cls, err := w.ue, w.cls, w.err
 	putWork(w)

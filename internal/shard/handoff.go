@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/packet"
 )
 
@@ -25,6 +26,22 @@ import (
 // pointer to the target shard; concurrent handoffs of the same UE
 // serialise the same way, so exactly one ordering wins.
 func (d *Dispatcher) Handoff(imsi string, newBS packet.BSID) (core.HandoffResult, error) {
+	sp := d.obs.spHandoff.Root()
+	hr, err := d.handoff(sp.Context(), imsi, newBS)
+	sp.End()
+	return hr, err
+}
+
+// HandoffCtx is Handoff continuing the caller's trace (wire-originated
+// moves join their frame's span context here).
+func (d *Dispatcher) HandoffCtx(sc obs.SpanContext, imsi string, newBS packet.BSID) (core.HandoffResult, error) {
+	sp := d.obs.spHandoff.Start(sc)
+	hr, err := d.handoff(sp.Context(), imsi, newBS)
+	sp.End()
+	return hr, err
+}
+
+func (d *Dispatcher) handoff(sc obs.SpanContext, imsi string, newBS packet.BSID) (core.HandoffResult, error) {
 	target, err := d.ShardOf(newBS)
 	if err != nil {
 		return core.HandoffResult{}, err
@@ -42,6 +59,7 @@ func (d *Dispatcher) Handoff(imsi string, newBS packet.BSID) (core.HandoffResult
 	if src == target {
 		w := getWork(opHandoff)
 		w.imsi, w.bs = imsi, newBS
+		w.sc = sc
 		src.do(w)
 		hr, err := w.hr, w.err
 		putWork(w)
@@ -53,24 +71,24 @@ func (d *Dispatcher) Handoff(imsi string, newBS packet.BSID) (core.HandoffResult
 
 	// Cross-shard: freeze on the source...
 	start := d.obs.reg.Now()
-	mig, err := d.extract(src, imsi)
+	mig, err := d.extract(sc, src, imsi)
 	if err != nil {
 		return core.HandoffResult{}, err
 	}
 	if mig.OldLocIP == 0 {
 		// The record existed but was detached; put it back where it can
 		// re-attach and report the usual error.
-		if _, _, aerr := d.adopt(src, mig, mig.OldBS); aerr == nil {
+		if _, _, aerr := d.adopt(obs.SpanContext{}, src, mig, mig.OldBS); aerr == nil {
 			//lint:ignore errdrop best-effort rollback; the attach error below is the one reported
 			_ = d.detachOn(src, imsi)
 		}
 		return core.HandoffResult{}, fmt.Errorf("shard: UE %q is not attached", imsi)
 	}
 	// ...install on the target.
-	ue, cls, err := d.adopt(target, mig, newBS)
+	ue, cls, err := d.adopt(sc, target, mig, newBS)
 	if err != nil {
 		// Roll the record back onto the source so the UE is not lost.
-		if _, _, rerr := d.adopt(src, mig, mig.OldBS); rerr != nil {
+		if _, _, rerr := d.adopt(obs.SpanContext{}, src, mig, mig.OldBS); rerr != nil {
 			return core.HandoffResult{}, fmt.Errorf("shard: cross-shard handoff failed (%v) and rollback failed: %w", err, rerr)
 		}
 		return core.HandoffResult{}, err

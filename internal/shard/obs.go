@@ -18,12 +18,22 @@ type dispObs struct {
 	crossDone  *obs.Counter
 	localDone  *obs.Counter
 	evFailover *obs.EventType
+
+	// Span sections (DESIGN.md §16). The dispatcher is where in-process
+	// callers enter the control plane, so its entry points make the
+	// root-sampling decision; requests arriving over the wire join their
+	// frame's trace through the Ctx variants instead.
+	spPath    *obs.SpanName // shard.path — sharded path request, end to end
+	spAttach  *obs.SpanName // shard.attach
+	spHandoff *obs.SpanName // shard.handoff — local or cross-shard move
 }
 
 func newDispObs(reg *obs.Registry) dispObs {
 	if reg == nil {
 		return dispObs{}
 	}
+	reg.Doc("shard.handoff.cross", "Cross-shard two-phase UE migrations completed")
+	reg.Doc("shard.handoff.local", "Handoffs served entirely inside one shard")
 	return dispObs{
 		reg: reg,
 		crossLat: reg.Histogram("shard.handoff.cross_ns",
@@ -31,14 +41,23 @@ func newDispObs(reg *obs.Registry) dispObs {
 		crossDone:  reg.Counter("shard.handoff.cross"),
 		localDone:  reg.Counter("shard.handoff.local"),
 		evFailover: reg.EventType("shard.failover", "shard", "stations", "ues", "dropped"),
+
+		spPath:    reg.SpanName("shard.path"),
+		spAttach:  reg.SpanName("shard.attach"),
+		spHandoff: reg.SpanName("shard.handoff"),
 	}
 }
 
 // shardObs holds one shard's queue telemetry, registered on the
-// dispatcher registry's "shard.<id>" view.
+// dispatcher registry's "shard.<id>" view. The two span names register
+// on the root registry instead: every shard's queue wait lands in one
+// waterfall segment, not a per-shard sliver.
 type shardObs struct {
 	depth     *obs.Gauge
 	batchSize *obs.Histogram
+
+	spQueueWait *obs.SpanName // shard.queue.wait — enqueue to dequeue
+	spAdmit     *obs.SpanName // shard.admission — the admission pipeline
 }
 
 func newShardObs(reg *obs.Registry, id int) shardObs {
@@ -49,6 +68,9 @@ func newShardObs(reg *obs.Registry, id int) shardObs {
 	return shardObs{
 		depth:     sub.Gauge("queue.depth"),
 		batchSize: sub.Histogram("batch.size", 1, 2, 4, 8, 16, 32, 64, 128),
+
+		spQueueWait: reg.SpanName("shard.queue.wait"),
+		spAdmit:     reg.SpanName("shard.admission"),
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/packet"
 )
 
@@ -42,6 +43,12 @@ type work struct {
 	ues     []core.UE
 	reports []core.AgentLocationReport
 
+	// sc is the request's span context (zero for the unsampled majority);
+	// qspan times enqueue-to-dequeue, started by do and ended by the
+	// dequeuing worker (the channel send orders the handoff).
+	sc    obs.SpanContext
+	qspan obs.Span
+
 	tag  packet.Tag
 	ue   core.UE
 	cls  []core.Classifier
@@ -68,6 +75,7 @@ func putWork(w *work) {
 	w.hr = core.HandoffResult{}
 	w.view = core.AgentView{}
 	w.err = nil
+	w.sc, w.qspan = obs.SpanContext{}, obs.Span{}
 	workPool.Put(w)
 }
 
@@ -130,11 +138,15 @@ func (s *Shard) do(w *work) {
 		s.adm.result(ErrShardDown, isProtected)
 		return
 	}
-	if err := s.adm.admit(w.kind, w.bs, len(s.queue), cap(s.queue)); err != nil {
+	asp := s.obs.spAdmit.Start(w.sc)
+	err := s.adm.admit(w.kind, w.bs, len(s.queue), cap(s.queue))
+	asp.End()
+	if err != nil {
 		w.err = err
 		return
 	}
 	s.obs.depth.Add(1)
+	w.qspan = s.obs.spQueueWait.Start(w.sc)
 	s.queue <- w
 	<-w.done
 	s.adm.result(w.err, isProtected)
@@ -179,6 +191,9 @@ func (s *Shard) worker() {
 func (s *Shard) serve(batch []*work, qs *[]core.PathQuery, idx *[]int, ans *[]core.PathAnswer) {
 	s.obs.depth.Add(-int64(len(batch)))
 	s.obs.batchSize.Observe(int64(len(batch)))
+	for _, w := range batch {
+		w.qspan.End() // queue wait is over, whatever happens next
+	}
 	if s.dead.Load() {
 		for _, w := range batch {
 			w.err = ErrShardDown
@@ -188,7 +203,10 @@ func (s *Shard) serve(batch []*work, qs *[]core.PathQuery, idx *[]int, ans *[]co
 	}
 	*qs, *idx = (*qs)[:0], (*idx)[:0]
 	for i, w := range batch {
-		if w.kind == opPath {
+		// Sampled path requests resolve individually below so their
+		// controller sections attach to the right trace; only the unsampled
+		// majority joins the shared-snapshot batch.
+		if w.kind == opPath && !w.sc.Sampled() {
 			*qs = append(*qs, core.PathQuery{BS: w.bs, Clause: w.clause})
 			*idx = append(*idx, i)
 		}
@@ -202,11 +220,14 @@ func (s *Shard) serve(batch []*work, qs *[]core.PathQuery, idx *[]int, ans *[]co
 	for _, w := range batch {
 		switch w.kind {
 		case opPath:
-			// answered above
+			if w.sc.Sampled() {
+				w.tag, w.err = s.Ctrl.RequestPathCtx(w.sc, w.bs, w.clause)
+			}
+			// unsampled: answered by the batch above
 		case opAttach:
-			w.ue, w.cls, w.err = s.Ctrl.Attach(w.imsi, w.bs)
+			w.ue, w.cls, w.err = s.Ctrl.AttachCtx(w.sc, w.imsi, w.bs)
 		case opHandoff:
-			w.hr, w.err = s.Ctrl.Handoff(w.imsi, w.bs)
+			w.hr, w.err = s.Ctrl.HandoffCtx(w.sc, w.imsi, w.bs)
 		case opDetach:
 			w.err = s.Ctrl.Detach(w.imsi)
 		case opResolve:
